@@ -1,0 +1,46 @@
+//! E1 bench: Lemma 7 register distribution — pipelined vs store-and-forward.
+
+use congest::bfs::build_bfs_tree;
+use congest::generators::path;
+use congest::runtime::Network;
+use congest::tree_comm::{distribute_register, Register, Schedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_distribute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma7_distribute");
+    group.sample_size(10);
+    for (d, q) in [(16usize, 256u64), (64, 1024)] {
+        let g = path(d + 1);
+        let net = Network::new(&g);
+        let tree = build_bfs_tree(&net, 0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("pipelined", format!("D{d}_q{q}")),
+            &(d, q),
+            |b, _| {
+                b.iter(|| {
+                    distribute_register(&net, &tree.views, Register::zeros(q), Schedule::Pipelined)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("store_and_forward", format!("D{d}_q{q}")),
+            &(d, q),
+            |b, _| {
+                b.iter(|| {
+                    distribute_register(
+                        &net,
+                        &tree.views,
+                        Register::zeros(q),
+                        Schedule::StoreAndForward,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribute);
+criterion_main!(benches);

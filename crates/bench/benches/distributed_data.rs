@@ -1,0 +1,43 @@
+//! E6–E8 bench: the distributed-data applications end to end.
+
+use congest::generators::dumbbell;
+use congest::runtime::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqc_core::deutsch_jozsa::{quantum_dj, DjInstance};
+use dqc_core::distinctness::{quantum_distinctness, DistinctnessInstance};
+use dqc_core::scheduling::{
+    classical_meeting_scheduling, quantum_meeting_scheduling, MeetingInstance,
+};
+use pquery::deutsch_jozsa::DjAnswer;
+
+fn bench_distributed_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_data");
+    group.sample_size(10);
+    let (g, _) = dumbbell(5, 5, 10);
+    let n = g.n();
+    let net = Network::new(&g);
+
+    for k in [256usize, 1024] {
+        let inst = MeetingInstance::random(n, k, 0.3, k as u64);
+        group.bench_with_input(BenchmarkId::new("scheduling_quantum", k), &k, |b, _| {
+            b.iter(|| quantum_meeting_scheduling(&net, &inst, 7).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("scheduling_classical", k), &k, |b, _| {
+            b.iter(|| classical_meeting_scheduling(&net, &inst, 7).unwrap())
+        });
+    }
+
+    let dinst = DistinctnessInstance::random(n, 512, Some((50, 400)), 3);
+    group.bench_function("distinctness_quantum_k512", |b| {
+        b.iter(|| quantum_distinctness(&net, &dinst, 5).unwrap())
+    });
+
+    let dj = DjInstance::random(n, 1024, DjAnswer::Balanced, 9);
+    group.bench_function("deutsch_jozsa_quantum_k1024", |b| {
+        b.iter(|| quantum_dj(&net, &dj, 5).unwrap().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_data);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E15–E18 bench: ablations and extensions.
+
+use congest::generators::{grid, path};
+use congest::runtime::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqc_core::bernstein_vazirani::{quantum_bv, BvInstance};
+use dqc_core::boosting::boosted_diameter;
+use dqc_core::simon::{quantum_simon, SimonInstance};
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    let g = path(10);
+    let net = Network::new(&g);
+    for m in [256usize, 2048] {
+        let hidden: Vec<bool> = (0..m).map(|i| i % 5 == 0).collect();
+        let inst = BvInstance::random(10, &hidden, m as u64);
+        group.bench_with_input(BenchmarkId::new("bernstein_vazirani", m), &m, |b, _| {
+            b.iter(|| quantum_bv(&net, &inst, 3).unwrap())
+        });
+    }
+
+    let sg = grid(3, 3);
+    let snet = Network::new(&sg);
+    let sinst = SimonInstance::random(9, 10, 0b1000000011, 4);
+    group.bench_function("simon_m10", |b| {
+        b.iter(|| quantum_simon(&snet, &sinst, 5).unwrap())
+    });
+
+    let bg = grid(5, 4);
+    let bnet = Network::new(&bg);
+    group.bench_function("boosted_diameter_c1", |b| {
+        b.iter(|| boosted_diameter(&bnet, 1.0, 2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

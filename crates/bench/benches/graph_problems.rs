@@ -1,0 +1,44 @@
+//! E9–E12 bench: the graph applications end to end.
+
+use congest::generators::{cycle_with_body, grid, random_connected_m};
+use congest::runtime::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqc_core::cycles::quantum_cycle_detection;
+use dqc_core::eccentricity::{
+    classical_diameter_radius, quantum_average_eccentricity, quantum_diameter,
+};
+use dqc_core::girth::quantum_girth;
+
+fn bench_graph_problems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_problems");
+    group.sample_size(10);
+    for n in [100usize, 200] {
+        let g = random_connected_m(n, n + n / 2, n as u64);
+        let net = Network::new(&g);
+        group.bench_with_input(BenchmarkId::new("diameter_quantum", n), &n, |b, _| {
+            b.iter(|| quantum_diameter(&net, 9).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("diameter_classical", n), &n, |b, _| {
+            b.iter(|| classical_diameter_radius(&net, 9).unwrap())
+        });
+    }
+
+    let g = grid(10, 8);
+    let net = Network::new(&g);
+    group.bench_function("avg_ecc_eps1_grid10x8", |b| {
+        b.iter(|| quantum_average_eccentricity(&net, 1.0, 13).unwrap())
+    });
+
+    let g = cycle_with_body(6, 94, 4);
+    let net = Network::new(&g);
+    group.bench_function("cycle_detect_k6_n100", |b| {
+        b.iter(|| quantum_cycle_detection(&net, 6, 3).unwrap())
+    });
+    group.bench_function("girth_n100", |b| {
+        b.iter(|| quantum_girth(&net, 0.5, 3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_problems);
+criterion_main!(benches);

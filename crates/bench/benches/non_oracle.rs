@@ -1,0 +1,46 @@
+//! E13–E14 bench: §6 building blocks and the exact statevector mode.
+
+use congest::generators::{grid, path};
+use congest::runtime::Network;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dqc_core::amplification::{amplitude_amplification, PreparationSubroutine};
+use dqc_core::estimation::{distributed_amplitude_estimation, distributed_phase_estimation};
+use dqc_core::exact::{exact_distribute_roundtrip, exact_distributed_dj};
+use qsim::complex::{c64, C64};
+
+fn bench_non_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("non_oracle");
+    group.sample_size(10);
+    let g = grid(5, 4);
+    let net = Network::new(&g);
+
+    group.bench_function("amplitude_amplification_p0.01", |b| {
+        b.iter(|| {
+            amplitude_amplification(&net, PreparationSubroutine::new(16, 0.01), 0.1, 1).unwrap()
+        })
+    });
+    group.bench_function("phase_estimation_eps0.02", |b| {
+        b.iter(|| distributed_phase_estimation(&net, 0.271, 3, 0.02, 0.1, 1).unwrap())
+    });
+    group.bench_function("amplitude_estimation_eps0.05", |b| {
+        b.iter(|| distributed_amplitude_estimation(&net, 0.2, 0.5, 4, 0.05, 0.1, 1).unwrap())
+    });
+
+    let pg = path(5);
+    group.bench_function("exact_lemma7_roundtrip_5x2q", |b| {
+        let s = 0.5f64.sqrt();
+        b.iter(|| {
+            exact_distribute_roundtrip(&pg, 0, vec![c64(s, 0.0), C64::ZERO, C64::ZERO, c64(0.0, s)])
+                .unwrap()
+        })
+    });
+    group.bench_function("exact_distributed_dj_4nodes_k4", |b| {
+        let mut local = vec![vec![false; 4]; 5];
+        local[2] = vec![true, false, true, false];
+        b.iter(|| exact_distributed_dj(&pg, 0, &local).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_non_oracle);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E2–E5 bench: the Section 2 parallel-query algorithms (batch emulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pquery::minimum::Extremum;
+use pquery::oracle::VecSource;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_parallel_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_query");
+    group.sample_size(10);
+    for p in [1usize, 16] {
+        group.bench_with_input(BenchmarkId::new("grover_one_k4096", p), &p, |b, &p| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut data = vec![0u64; 4096];
+                data[1234] = 1;
+                let mut src = VecSource::new(data, p);
+                pquery::grover::search_one(&mut src, &|v| v != 0, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("minimum_k4096", p), &p, |b, &p| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let data: Vec<u64> = (0..4096u64).map(|i| (i * 48271) % 99991).collect();
+                let mut src = VecSource::new(data, p);
+                pquery::minimum::find_extremum(&mut src, Extremum::Min, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("distinctness_k2048", p), &p, |b, &p| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut data: Vec<u64> = (0..2048u64).map(|i| 5000 + i).collect();
+                data[1700] = data[100];
+                let mut src = VecSource::new(data, p);
+                pquery::distinctness::element_distinctness(&mut src, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mean_k4000", p), &p, |b, &p| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let data: Vec<u64> = (0..4000).map(|i| (i % 100) as u64).collect();
+            b.iter(|| {
+                let mut src = VecSource::new(data.clone(), p);
+                pquery::mean::estimate_mean(&mut src, 30.0, 1.0, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_query);
+criterion_main!(benches);

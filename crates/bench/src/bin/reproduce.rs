@@ -1,0 +1,44 @@
+//! Regenerate the paper's result tables.
+//!
+//! ```text
+//! reproduce [--quick] [--json FILE] [all | e1 .. e18]...
+//! ```
+
+use dqc_bench::{run_one, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut json_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--json" => json_path = it.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: reproduce [--quick] [--json FILE] [all | e1 .. e18]...");
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = (1..=18).map(|i| format!("e{i}")).collect();
+    }
+    let mut tables = Vec::new();
+    for id in &wanted {
+        match run_one(id, scale) {
+            Some(t) => {
+                println!("{}", t.render());
+                tables.push(t);
+            }
+            None => eprintln!("unknown experiment: {id}"),
+        }
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&tables).expect("serialize tables");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Result tables for the experiment harness.
+
+use serde::Serialize;
+
+/// One experiment's result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. "E6".
+    pub id: String,
+    /// Human title, e.g. "Meeting scheduling (Lemma 10 vs Lemma 11)".
+    pub title: String,
+    /// What the paper predicts and what we check.
+    pub claim: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Harness verdict lines (scaling-fit summaries, pass/fail notes).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(id: &str, title: &str, claim: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a verdict/summary note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("   claim: {}\n", self.claim));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format!("   {}\n", fmt_row(&self.header)));
+        out.push_str(&format!(
+            "   {}\n",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("   {}\n", fmt_row(row)));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("   * {n}\n"));
+        }
+        out
+    }
+}
+
+/// Least-squares slope of `log y` against `log x` — the measured scaling
+/// exponent, for comparing against the theory exponent.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_rows() {
+        let mut t = Table::new("E0", "demo", "x", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("fine");
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("fine"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("E0", "demo", "x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn slope_of_power_law() {
+        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i as f64).powf(1.5) * 3.0)).collect();
+        assert!((loglog_slope(&pts) - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,682 @@
+//! Network-topology generators.
+//!
+//! These cover the families used throughout the paper's upper- and
+//! lower-bound arguments: paths and cycles (line networks for the
+//! disjointness reductions), stars and double-stars (the element-distinctness
+//! lower bound of Lemma 15), dumbbells (two hubs joined by a long path — the
+//! `k`-vs-`D` trade-off graphs of Lemmas 11 and 13), trees, grids, random
+//! connected graphs, and girth gadgets (a cycle of prescribed length hung off
+//! a larger body).
+//!
+//! All random generators are deterministic given a seed.
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A path `0 — 1 — … — (n-1)`. Diameter `n - 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1))).expect("valid path")
+}
+
+/// A cycle on `n >= 3` nodes. Diameter `⌊n/2⌋`, girth `n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("valid cycle")
+}
+
+/// The complete graph `K_n`. Diameter 1 (for `n >= 2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0);
+    let mut e = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            e.push((u, v));
+        }
+    }
+    Graph::from_edges(n, e).expect("valid complete graph")
+}
+
+/// A star: node 0 is the hub, nodes `1..n` are leaves. Diameter 2.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs a hub and at least one leaf");
+    Graph::from_edges(n, (1..n).map(|v| (0, v))).expect("valid star")
+}
+
+/// Two stars with `a` and `b` leaves whose hubs are joined by an edge —
+/// the lower-bound topology of Lemma 15 (element distinctness between
+/// nodes). Hub A is node 0, hub B is node `a + 1`.
+///
+/// # Panics
+///
+/// Panics if `a == 0` or `b == 0`.
+pub fn double_star(a: usize, b: usize) -> Graph {
+    assert!(a > 0 && b > 0);
+    let hub_a = 0;
+    let hub_b = a + 1;
+    let n = a + b + 2;
+    let mut e: Vec<(NodeId, NodeId)> = Vec::with_capacity(a + b + 1);
+    for leaf in 1..=a {
+        e.push((hub_a, leaf));
+    }
+    for leaf in (hub_b + 1)..n {
+        e.push((hub_b, leaf));
+    }
+    e.push((hub_a, hub_b));
+    Graph::from_edges(n, e).expect("valid double star")
+}
+
+/// A "dumbbell": two hubs with `a` and `b` leaves each, joined by a path of
+/// `len` intermediate nodes, so the hubs are `len + 1` apart. This is the
+/// `D`-separated two-player topology of the Lemma 11/13 reductions.
+///
+/// Node layout: hub A = 0, A-leaves `1..=a`, path `a+1 .. a+len`,
+/// hub B = `a + len + 1`, B-leaves after it.
+///
+/// Returns the graph together with `(hub_a, hub_b)`.
+pub fn dumbbell(a: usize, b: usize, len: usize) -> (Graph, (NodeId, NodeId)) {
+    let hub_a = 0;
+    let path_start = a + 1;
+    let hub_b = a + len + 1;
+    let n = a + b + len + 2;
+    let mut e = Vec::new();
+    for leaf in 1..=a {
+        e.push((hub_a, leaf));
+    }
+    for leaf in (hub_b + 1)..n {
+        e.push((hub_b, leaf));
+    }
+    if len == 0 {
+        e.push((hub_a, hub_b));
+    } else {
+        e.push((hub_a, path_start));
+        for i in 0..len - 1 {
+            e.push((path_start + i, path_start + i + 1));
+        }
+        e.push((path_start + len - 1, hub_b));
+    }
+    (Graph::from_edges(n, e).expect("valid dumbbell"), (hub_a, hub_b))
+}
+
+/// A complete `arity`-ary tree of the given `depth` (depth 0 = single root).
+///
+/// # Panics
+///
+/// Panics if `arity == 0`.
+pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
+    assert!(arity > 0);
+    let mut e = Vec::new();
+    let mut level: Vec<NodeId> = vec![0];
+    let mut next_id = 1;
+    for _ in 0..depth {
+        let mut next_level = Vec::with_capacity(level.len() * arity);
+        for &p in &level {
+            for _ in 0..arity {
+                e.push((p, next_id));
+                next_level.push(next_id);
+                next_id += 1;
+            }
+        }
+        level = next_level;
+    }
+    Graph::from_edges(next_id, e).expect("valid tree")
+}
+
+/// A `w × h` grid graph. Diameter `w + h - 2`.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `h == 0`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w > 0 && h > 0);
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut e = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                e.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < h {
+                e.push((idx(x, y), idx(x, y + 1)));
+            }
+        }
+    }
+    Graph::from_edges(w * h, e).expect("valid grid")
+}
+
+/// The `dim`-dimensional hypercube (`2^dim` nodes, diameter `dim`).
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `dim > 20`.
+pub fn hypercube(dim: usize) -> Graph {
+    assert!(dim > 0 && dim <= 20);
+    let n = 1usize << dim;
+    let mut e = Vec::new();
+    for v in 0..n {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if u > v {
+                e.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, e).expect("valid hypercube")
+}
+
+/// A uniformly random labelled tree on `n` nodes (Prüfer sequence).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0);
+    if n == 1 {
+        return Graph::from_edges(1, []).expect("single node");
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("two nodes");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut e = Vec::with_capacity(n - 1);
+    // Min-heap over current leaves.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &p in &prufer {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("Prüfer invariant: a leaf exists");
+        e.push((leaf, p));
+        degree[p] -= 1;
+        if degree[p] == 1 {
+            heap.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(u) = heap.pop().unwrap();
+    let std::cmp::Reverse(v) = heap.pop().unwrap();
+    e.push((u, v));
+    Graph::from_edges(n, e).expect("valid Prüfer tree")
+}
+
+/// A connected Erdős–Rényi-style graph: a random spanning tree plus each
+/// remaining pair independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0);
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let tree = random_tree(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut e: Vec<(NodeId, NodeId)> = tree.edges().to_vec();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !tree.has_edge(u, v) && rng.gen_bool(p) {
+                e.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, e).expect("valid random connected graph")
+}
+
+/// A random connected graph with exactly `m >= n - 1` edges: a random
+/// spanning tree plus `m - (n-1)` distinct random extra edges.
+///
+/// # Panics
+///
+/// Panics if `m < n - 1` or `m` exceeds `n(n-1)/2`.
+pub fn random_connected_m(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n > 0);
+    assert!(m + 1 >= n, "need at least n-1 edges for connectivity");
+    assert!(m <= n * (n - 1) / 2, "too many edges for a simple graph");
+    let tree = random_tree(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef_cafe_f00d);
+    let mut edges: Vec<(NodeId, NodeId)> = tree.edges().to_vec();
+    let mut have: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    while edges.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if have.insert(key) {
+            edges.push(key);
+        }
+    }
+    Graph::from_edges(n, edges).expect("valid random graph")
+}
+
+/// A "lollipop": a clique of size `c` attached to a path of length `len`.
+/// High-diameter, high-degree mix used to stress pipelined protocols.
+///
+/// # Panics
+///
+/// Panics if `c < 2`.
+pub fn lollipop(c: usize, len: usize) -> Graph {
+    assert!(c >= 2);
+    let n = c + len;
+    let mut e = Vec::new();
+    for u in 0..c {
+        for v in (u + 1)..c {
+            e.push((u, v));
+        }
+    }
+    for i in 0..len {
+        let prev = if i == 0 { c - 1 } else { c + i - 1 };
+        e.push((prev, c + i));
+    }
+    Graph::from_edges(n, e).expect("valid lollipop")
+}
+
+/// A girth gadget: one cycle of length `g` plus a random tree body of
+/// `body` extra nodes hanging off cycle node 0, so the graph has `g + body`
+/// nodes and girth exactly `g` (the body is acyclic).
+///
+/// # Panics
+///
+/// Panics if `g < 3`.
+pub fn cycle_with_body(g: usize, body: usize, seed: u64) -> Graph {
+    assert!(g >= 3);
+    let n = g + body;
+    let mut e: Vec<(NodeId, NodeId)> = (0..g).map(|i| (i, (i + 1) % g)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in g..n {
+        // Attach each body node to a uniformly random earlier node, so the
+        // body is a tree rooted somewhere on (or hanging from) the cycle.
+        let anchor = if v == g { 0 } else { rng.gen_range(0..v) };
+        e.push((anchor, v));
+    }
+    Graph::from_edges(n, e).expect("valid cycle-with-body")
+}
+
+/// A graph that contains many vertex-disjoint cycles of length `g` plus a
+/// connecting spine; used to exercise heavy/light cycle detection. Returns
+/// a connected graph with `copies` disjoint `g`-cycles whose node 0s are
+/// joined into a path.
+///
+/// # Panics
+///
+/// Panics if `g < 3` or `copies == 0`.
+pub fn many_cycles(g: usize, copies: usize, seed: u64) -> Graph {
+    assert!(g >= 3 && copies > 0);
+    let _ = seed;
+    let n = g * copies;
+    let mut e = Vec::new();
+    for c in 0..copies {
+        let base = c * g;
+        for i in 0..g {
+            e.push((base + i, base + (i + 1) % g));
+        }
+        if c + 1 < copies {
+            e.push((base, base + g)); // spine between anchor nodes
+        }
+    }
+    Graph::from_edges(n, e).expect("valid many-cycles graph")
+}
+
+/// A star of `n` nodes whose hub lies on a cycle of length `g`: the hub
+/// plus `g − 1` of its leaves are joined into a `g`-cycle. The cycle is
+/// *heavy* (it passes through the degree-`n − 1` hub), making it the
+/// worst case for truncated-BFS flooding and the best case for the
+/// heavy-cycle search of Lemma 23.
+///
+/// # Panics
+///
+/// Panics if `g < 3` or `n < g`.
+pub fn hub_cycle(n: usize, g: usize) -> Graph {
+    assert!(g >= 3 && n >= g, "need at least g nodes");
+    // Nodes: hub 0; chain 1..g-1 (only its endpoints touch the hub, so the
+    // unique short cycle is 0-1-2-…-(g-1)-0 of length exactly g); the rest
+    // are hub leaves.
+    let mut e: Vec<(NodeId, NodeId)> = vec![(0, 1), (0, g - 1)];
+    for i in 1..g - 1 {
+        e.push((i, i + 1));
+    }
+    for leaf in g..n {
+        e.push((0, leaf));
+    }
+    Graph::from_edges(n, e).expect("valid hub cycle")
+}
+
+/// A wheel: a cycle of `n − 1` nodes plus a hub adjacent to all of them.
+/// Diameter 2, girth 3.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs a hub and a 3-cycle");
+    let rim = n - 1;
+    let mut e: Vec<(NodeId, NodeId)> = (0..rim).map(|i| (1 + i, 1 + (i + 1) % rim)).collect();
+    for v in 1..n {
+        e.push((0, v));
+    }
+    Graph::from_edges(n, e).expect("valid wheel")
+}
+
+/// The complete bipartite graph `K_{a,b}`. Girth 4 (for `a, b ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `a == 0` or `b == 0`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a > 0 && b > 0);
+    let mut e = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            e.push((u, a + v));
+        }
+    }
+    Graph::from_edges(a + b, e).expect("valid complete bipartite graph")
+}
+
+/// A barbell: two `c`-cliques joined by a path of `len` nodes.
+///
+/// # Panics
+///
+/// Panics if `c < 2`.
+pub fn barbell(c: usize, len: usize) -> Graph {
+    assert!(c >= 2);
+    let n = 2 * c + len;
+    let mut e = Vec::new();
+    for block in 0..2 {
+        let base = block * (c + len);
+        for u in 0..c {
+            for v in (u + 1)..c {
+                e.push((base + u, base + v));
+            }
+        }
+    }
+    // Path from clique-1 node c-1 through the bridge to clique-2 node 0.
+    let mut prev = c - 1;
+    for i in 0..len {
+        e.push((prev, c + i));
+        prev = c + i;
+    }
+    e.push((prev, c + len));
+    Graph::from_edges(n, e).expect("valid barbell")
+}
+
+/// A caterpillar: a spine path with `legs` leaves per spine node — the
+/// tree family with maximal leaf congestion.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine > 0);
+    let n = spine * (1 + legs);
+    let mut e = Vec::new();
+    for i in 0..spine.saturating_sub(1) {
+        e.push((i, i + 1));
+    }
+    for (s, base) in (0..spine).map(|s| (s, spine + s * legs)) {
+        for l in 0..legs {
+            e.push((s, base + l));
+        }
+    }
+    Graph::from_edges(n, e).expect("valid caterpillar")
+}
+
+/// A random `d`-regular graph (pairing model with retries); falls back to
+/// fewer edges only if the final matching is infeasible, so degrees are
+/// `d` for all nodes on success.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd, `d >= n`, or a simple matching cannot be found
+/// in 200 attempts.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
+    assert!(d >= 1 && d < n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..200 {
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut used = std::collections::HashSet::new();
+        let mut edges = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt;
+            }
+            let key = (u.min(v), u.max(v));
+            if !used.insert(key) {
+                continue 'attempt;
+            }
+            edges.push(key);
+        }
+        let g = Graph::from_edges(n, edges).expect("pairing produced a simple graph");
+        if g.is_connected() {
+            return g;
+        }
+    }
+    panic!("could not sample a connected {d}-regular graph on {n} nodes");
+}
+
+/// Random permutation of `0..n`, used to shuffle node labels in tests so no
+/// protocol accidentally depends on the generator's labelling.
+pub fn random_relabel(g: &Graph, seed: u64) -> Graph {
+    let n = g.n();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|&(u, v)| (perm[u], perm[v])).collect();
+    Graph::from_edges(n, edges).expect("relabelling preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(path(1).diameter(), Some(0));
+        assert_eq!(path(10).diameter(), Some(9));
+    }
+
+    #[test]
+    fn cycle_girth_and_diameter() {
+        for n in [3usize, 4, 7, 12] {
+            let g = cycle(n);
+            assert_eq!(g.girth(), Some(n as u32));
+            assert_eq!(g.diameter(), Some((n / 2) as u32));
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.diameter(), Some(2));
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn double_star_shape() {
+        let g = double_star(3, 4);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.degree(0), 4); // 3 leaves + hub link
+        assert_eq!(g.degree(4), 5); // 4 leaves + hub link
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn dumbbell_hub_distance() {
+        for len in [0usize, 1, 5] {
+            let (g, (ha, hb)) = dumbbell(3, 3, len);
+            assert!(g.is_connected());
+            assert_eq!(g.bfs_distances(ha)[hb], Some((len + 1) as u32));
+        }
+    }
+
+    #[test]
+    fn balanced_tree_sizes() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(g.diameter(), Some(6));
+    }
+
+    #[test]
+    fn grid_diameter() {
+        let g = grid(4, 3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.diameter(), Some(5));
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn hypercube_props() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.girth(), Some(4));
+        assert!((0..16).all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(20, seed);
+            assert_eq!(g.m(), 19);
+            assert!(g.is_connected());
+            assert_eq!(g.girth(), None);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let g = random_connected(30, 0.1, seed);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_connected_m_edge_count() {
+        let g = random_connected_m(20, 40, 7);
+        assert_eq!(g.m(), 40);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn lollipop_connected() {
+        let g = lollipop(5, 10);
+        assert!(g.is_connected());
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.girth(), Some(3));
+    }
+
+    #[test]
+    fn cycle_with_body_girth() {
+        for seed in 0..3 {
+            let g = cycle_with_body(7, 20, seed);
+            assert!(g.is_connected());
+            assert_eq!(g.girth(), Some(7));
+        }
+    }
+
+    #[test]
+    fn many_cycles_structure() {
+        let g = many_cycles(5, 4, 0);
+        assert!(g.is_connected());
+        assert_eq!(g.girth(), Some(5));
+        assert_eq!(g.n(), 20);
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(8);
+        assert_eq!(g.diameter(), Some(2));
+        assert_eq!(g.girth(), Some(3));
+        assert_eq!(g.degree(0), 7);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.girth(), Some(4));
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 3);
+        assert!(g.is_connected());
+        assert_eq!(g.n(), 11);
+        assert_eq!(g.girth(), Some(3));
+        assert!(g.diameter().unwrap() >= 5);
+    }
+
+    #[test]
+    fn caterpillar_is_tree() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 19);
+        assert!(g.is_connected());
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        for seed in 0..3 {
+            let g = random_regular(20, 4, seed);
+            assert!(g.is_connected());
+            assert!((0..20).all(|v| g.degree(v) == 4));
+        }
+    }
+
+    #[test]
+    fn hub_cycle_structure() {
+        for gl in [3usize, 5, 6, 8] {
+            let g = hub_cycle(40, gl);
+            assert!(g.is_connected());
+            assert_eq!(g.girth(), Some(gl as u32), "g = {gl}");
+            assert_eq!(g.degree(0), 40 - gl + 2, "hub degree");
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_invariants() {
+        let g = grid(5, 4);
+        let h = random_relabel(&g, 99);
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.m(), h.m());
+        assert_eq!(g.diameter(), h.diameter());
+        assert_eq!(g.girth(), h.girth());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_connected(25, 0.15, 42);
+        let b = random_connected(25, 0.15, 42);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

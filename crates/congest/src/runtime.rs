@@ -1,0 +1,771 @@
+//! The synchronous round engine.
+//!
+//! The (Quantum) CONGEST model proceeds in synchronous rounds: in each round
+//! every node may send one message of `O(log n)` (qu)bits to each neighbor,
+//! then receives its neighbors' messages and performs unlimited local
+//! computation. The engine executes a per-node state machine
+//! ([`NodeProtocol`]) round by round, enforces the per-edge bandwidth cap,
+//! and counts rounds — the measured quantity in every experiment.
+//!
+//! Determinism: the engine itself is deterministic; protocols that need
+//! randomness own a seeded RNG, so a whole run is reproducible from its
+//! seeds.
+
+use crate::graph::{bits_for, Graph, NodeId};
+use std::fmt;
+
+/// Size accounting for protocol messages.
+///
+/// Every message declares its size in (qu)bits; the engine sums sizes per
+/// directed edge per round and rejects the run if any edge exceeds the cap.
+/// Quantum payloads (e.g. the register chunks of Lemma 7) report their size
+/// in qubits; the model treats classical bits and qubits identically for
+/// bandwidth purposes.
+pub trait MessageSize {
+    /// The number of (qu)bits this message occupies on a link.
+    fn size_bits(&self) -> u64;
+}
+
+/// A per-node protocol state machine.
+///
+/// One value of the implementing type exists per node. The engine calls
+/// [`on_round`](Self::on_round) for every node in every round (round 0
+/// delivers an empty inbox), collecting outgoing messages through
+/// [`Ctx`].
+pub trait NodeProtocol {
+    /// Message type exchanged by this protocol.
+    type Msg: Clone + MessageSize;
+
+    /// One synchronous round: react to `inbox` (messages sent to this node
+    /// in the previous round) and queue outgoing messages on `ctx`.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(NodeId, Self::Msg)]);
+
+    /// Whether this node has finished its part of the protocol. The run
+    /// ends when every node is done and no messages are in flight.
+    fn is_done(&self) -> bool;
+}
+
+/// Per-round context handed to a node: identity, topology view, and the
+/// outbox.
+///
+/// A node only sees its own id, its neighbor list, and the global constants
+/// `n` and the bandwidth cap — exactly the initial knowledge the CONGEST
+/// model grants.
+pub struct Ctx<'a, M> {
+    me: NodeId,
+    // (fields documented on the accessors)
+    round: usize,
+    n: usize,
+    cap_bits: u64,
+    neighbors: &'a [NodeId],
+    out: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<M> fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("me", &self.me)
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+impl<'a, M: MessageSize> Ctx<'a, M> {
+    /// This node's identifier.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current round number (0-based).
+    #[inline]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Total number of nodes (global knowledge in the model).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-edge per-round bandwidth cap in (qu)bits.
+    #[inline]
+    pub fn cap_bits(&self) -> u64 {
+        self.cap_bits
+    }
+
+    /// The sorted neighbor list of this node.
+    #[inline]
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Queue `msg` for delivery to neighbor `to` at the start of the next
+    /// round.
+    ///
+    /// The engine validates that `to` is a neighbor and that the edge's
+    /// bandwidth cap is respected; violations abort the run with an error
+    /// rather than silently producing an unfaithful round count.
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    /// Queue `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for &w in self.neighbors {
+            self.out.push((w, msg.clone()));
+        }
+    }
+}
+
+/// Why a run was aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum RuntimeError {
+    /// A node addressed a message to a non-neighbor.
+    NotANeighbor { round: usize, from: NodeId, to: NodeId },
+    /// The traffic on a directed edge exceeded the cap in some round.
+    BandwidthExceeded { round: usize, from: NodeId, to: NodeId, bits: u64, cap: u64 },
+    /// The protocol did not terminate within the round limit.
+    RoundLimitExceeded { limit: usize },
+    /// The number of protocol instances does not match the node count.
+    WrongNodeCount { expected: usize, got: usize },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NotANeighbor { round, from, to } => {
+                write!(f, "round {round}: node {from} sent to non-neighbor {to}")
+            }
+            RuntimeError::BandwidthExceeded { round, from, to, bits, cap } => write!(
+                f,
+                "round {round}: edge {from}->{to} carried {bits} bits, cap is {cap}"
+            ),
+            RuntimeError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not terminate within {limit} rounds")
+            }
+            RuntimeError::WrongNodeCount { expected, got } => {
+                write!(f, "expected {expected} protocol instances, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Aggregate statistics of one protocol run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of communication rounds used (index of the last round in
+    /// which any message was in flight, plus one).
+    pub rounds: usize,
+    /// Total number of messages delivered.
+    pub messages: u64,
+    /// Total (qu)bits delivered.
+    pub total_bits: u64,
+    /// The largest per-edge per-round load observed, in (qu)bits.
+    pub max_edge_bits: u64,
+}
+
+impl RunStats {
+    /// Merge stats of a subsequent phase into this one (rounds add up).
+    pub fn absorb(&mut self, other: RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.total_bits += other.total_bits;
+        self.max_edge_bits = self.max_edge_bits.max(other.max_edge_bits);
+    }
+}
+
+/// The result of a completed run: the final node states plus statistics.
+#[derive(Debug)]
+pub struct Run<P> {
+    /// Final per-node protocol states, indexed by [`NodeId`].
+    pub nodes: Vec<P>,
+    /// Measured statistics.
+    pub stats: RunStats,
+}
+
+/// Per-round record of a traced run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Messages delivered at the start of the next round.
+    pub messages: u64,
+    /// Total (qu)bits in flight.
+    pub bits: u64,
+    /// The most loaded directed edge `(from, to, bits)` this round.
+    pub busiest_edge: Option<(NodeId, NodeId, u64)>,
+}
+
+/// A per-round congestion trace produced by [`Network::run_traced`].
+///
+/// # Examples
+///
+/// ```
+/// use congest::generators::path;
+/// use congest::runtime::Network;
+/// use congest::bfs::BfsTreeProtocol;
+///
+/// let g = path(6);
+/// let net = Network::new(&g);
+/// let (_run, trace) = net.run_traced(BfsTreeProtocol::instances(6, 0))?;
+/// assert!(!trace.rounds.is_empty());
+/// println!("{}", trace.render(20));
+/// # Ok::<(), congest::runtime::RuntimeError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// One entry per executed round.
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl Trace {
+    /// The round with the highest bit volume, if any traffic flowed.
+    pub fn peak_round(&self) -> Option<(usize, &RoundTrace)> {
+        self.rounds
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.bits)
+            .filter(|(_, r)| r.bits > 0)
+    }
+
+    /// Total delivered bits.
+    pub fn total_bits(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bits).sum()
+    }
+
+    /// Render an ASCII per-round bit-volume histogram, `width` columns.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.rounds.iter().map(|r| r.bits).max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, r) in self.rounds.iter().enumerate() {
+            let bar = (r.bits * width as u64 / max) as usize;
+            out.push_str(&format!(
+                "round {i:>4} | {:<width$} | {:>6} bits, {:>4} msgs\n",
+                "#".repeat(bar),
+                r.bits,
+                r.messages,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// A CONGEST network: a topology plus execution parameters.
+///
+/// # Examples
+///
+/// ```
+/// use congest::generators::path;
+/// use congest::runtime::Network;
+///
+/// let g = path(8);
+/// let net = Network::new(&g);
+/// assert!(net.cap_bits() >= 3); // at least ⌈log₂ n⌉
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    cap_bits: u64,
+    max_rounds: usize,
+}
+
+/// Default bandwidth multiplier: each link carries up to
+/// `DEFAULT_BANDWIDTH_FACTOR · ⌈log₂ n⌉` (qu)bits per round, the constant in
+/// the model's `O(log n)` message size. A factor of 4 lets one message carry
+/// a tag, a node id, a distance, and a value word without artificial
+/// fragmentation.
+pub const DEFAULT_BANDWIDTH_FACTOR: u64 = 4;
+
+impl<'g> Network<'g> {
+    /// A network over `graph` with the default bandwidth cap
+    /// (`4⌈log₂ n⌉` bits) and a generous round limit.
+    pub fn new(graph: &'g Graph) -> Self {
+        let cap = DEFAULT_BANDWIDTH_FACTOR * bits_for(graph.n().saturating_sub(1) as u64);
+        Network { graph, cap_bits: cap, max_rounds: 1_000_000 }
+    }
+
+    /// Override the per-edge per-round bandwidth cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn with_bandwidth(mut self, bits: u64) -> Self {
+        assert!(bits > 0, "bandwidth cap must be positive");
+        self.cap_bits = bits;
+        self
+    }
+
+    /// Override the round limit after which a run is aborted.
+    pub fn with_round_limit(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The per-edge per-round bandwidth cap in (qu)bits.
+    pub fn cap_bits(&self) -> u64 {
+        self.cap_bits
+    }
+
+    /// Execute `nodes[v]` as the protocol instance at node `v` until every
+    /// node is done and no messages are in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a node sends to a non-neighbor, an edge exceeds
+    /// the bandwidth cap, the round limit is hit, or `nodes.len() != n`.
+    pub fn run<P: NodeProtocol>(&self, nodes: Vec<P>) -> Result<Run<P>, RuntimeError> {
+        self.run_impl(nodes, None)
+    }
+
+    /// Like [`run`](Self::run), but also records a per-round
+    /// [`Trace`] — message/bit counts and the busiest edge of every round —
+    /// for congestion analysis and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_traced<P: NodeProtocol>(
+        &self,
+        nodes: Vec<P>,
+    ) -> Result<(Run<P>, Trace), RuntimeError> {
+        let mut trace = Trace::default();
+        let run = self.run_impl(nodes, Some(&mut trace))?;
+        trace.rounds.truncate(run.stats.rounds);
+        Ok((run, trace))
+    }
+
+    fn run_impl<P: NodeProtocol>(
+        &self,
+        mut nodes: Vec<P>,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<Run<P>, RuntimeError> {
+        let n = self.graph.n();
+        if nodes.len() != n {
+            return Err(RuntimeError::WrongNodeCount { expected: n, got: nodes.len() });
+        }
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut stats = RunStats::default();
+        let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        // Tracks per-destination load for the currently processed sender.
+        let mut last_active_round = 0usize;
+
+        for round in 0..self.max_rounds {
+            let mut any_sent = false;
+            for v in 0..n {
+                outbox.clear();
+                {
+                    let mut ctx = Ctx {
+                        me: v,
+                        round,
+                        n,
+                        cap_bits: self.cap_bits,
+                        neighbors: self.graph.neighbors(v),
+                        out: &mut outbox,
+                    };
+                    nodes[v].on_round(&mut ctx, &inboxes[v]);
+                }
+                if !outbox.is_empty() {
+                    // Enforce neighbor-only delivery and the per-edge cap.
+                    let mut load: Vec<(NodeId, u64)> = Vec::new();
+                    for (to, msg) in outbox.drain(..) {
+                        if !self.graph.has_edge(v, to) {
+                            return Err(RuntimeError::NotANeighbor { round, from: v, to });
+                        }
+                        let bits = msg.size_bits();
+                        let entry = match load.iter_mut().find(|(t, _)| *t == to) {
+                            Some(e) => {
+                                e.1 += bits;
+                                e.1
+                            }
+                            None => {
+                                load.push((to, bits));
+                                bits
+                            }
+                        };
+                        if entry > self.cap_bits {
+                            return Err(RuntimeError::BandwidthExceeded {
+                                round,
+                                from: v,
+                                to,
+                                bits: entry,
+                                cap: self.cap_bits,
+                            });
+                        }
+                        stats.messages += 1;
+                        stats.total_bits += bits;
+                        next_inboxes[to].push((v, msg));
+                        any_sent = true;
+                    }
+                    for (_, bits) in load {
+                        stats.max_edge_bits = stats.max_edge_bits.max(bits);
+                    }
+                }
+            }
+            if any_sent {
+                last_active_round = round + 1;
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                let mut msgs = 0u64;
+                let mut bits = 0u64;
+                let mut busiest: Option<(NodeId, NodeId, u64)> = None;
+                let mut edge_load: std::collections::HashMap<(NodeId, NodeId), u64> =
+                    std::collections::HashMap::new();
+                for (to, inbox) in next_inboxes.iter().enumerate() {
+                    for (from, msg) in inbox {
+                        msgs += 1;
+                        let b = msg.size_bits();
+                        bits += b;
+                        let e = edge_load.entry((*from, to)).or_insert(0);
+                        *e += b;
+                        if busiest.is_none_or(|(_, _, bb)| *e > bb) {
+                            busiest = Some((*from, to, *e));
+                        }
+                    }
+                }
+                t.rounds.push(RoundTrace { messages: msgs, bits, busiest_edge: busiest });
+            }
+            let in_flight = next_inboxes.iter().any(|b| !b.is_empty());
+            if !in_flight && nodes.iter().all(|p| p.is_done()) {
+                stats.rounds = last_active_round;
+                return Ok(Run { nodes, stats });
+            }
+            for v in 0..n {
+                inboxes[v].clear();
+                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
+            }
+        }
+        Err(RuntimeError::RoundLimitExceeded { limit: self.max_rounds })
+    }
+}
+
+/// A named-phase ledger used by drivers that compose several protocol runs
+/// (leader election, then BFS, then `b` query batches, …) into one
+/// algorithm, as the paper's proofs do.
+///
+/// # Examples
+///
+/// ```
+/// use congest::runtime::{RoundLedger, RunStats};
+///
+/// let mut ledger = RoundLedger::new();
+/// ledger.record("bfs", RunStats { rounds: 7, ..Default::default() });
+/// ledger.record("query-batch", RunStats { rounds: 12, ..Default::default() });
+/// assert_eq!(ledger.total_rounds(), 19);
+/// assert_eq!(ledger.phases().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundLedger {
+    phases: Vec<(String, RunStats)>,
+}
+
+impl RoundLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed phase.
+    pub fn record(&mut self, name: &str, stats: RunStats) {
+        self.phases.push((name.to_string(), stats));
+    }
+
+    /// All recorded phases in order.
+    pub fn phases(&self) -> &[(String, RunStats)] {
+        &self.phases
+    }
+
+    /// Total rounds across phases — the algorithm's round complexity.
+    pub fn total_rounds(&self) -> usize {
+        self.phases.iter().map(|(_, s)| s.rounds).sum()
+    }
+
+    /// Total rounds spent in phases whose name starts with `prefix`.
+    pub fn rounds_for(&self, prefix: &str) -> usize {
+        self.phases
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, s)| s.rounds)
+            .sum()
+    }
+
+    /// Sum of all message counts.
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|(_, s)| s.messages).sum()
+    }
+
+    /// Sum of all delivered (qu)bits.
+    pub fn total_bits(&self) -> u64 {
+        self.phases.iter().map(|(_, s)| s.total_bits).sum()
+    }
+
+    /// Fold another ledger's phases into this one, prefixing their names.
+    pub fn absorb(&mut self, prefix: &str, other: RoundLedger) {
+        for (name, stats) in other.phases {
+            self.phases.push((format!("{prefix}/{name}"), stats));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{path, star};
+
+    /// A flood protocol: node 0 emits a token; everyone forwards it once.
+    #[derive(Debug)]
+    struct Flood {
+        has_token: bool,
+        forwarded: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token;
+
+    impl MessageSize for Token {
+        fn size_bits(&self) -> u64 {
+            1
+        }
+    }
+
+    impl NodeProtocol for Flood {
+        type Msg = Token;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Token>, inbox: &[(NodeId, Token)]) {
+            if !inbox.is_empty() {
+                self.has_token = true;
+            }
+            if self.has_token && !self.forwarded {
+                ctx.broadcast(Token);
+                self.forwarded = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.forwarded
+        }
+    }
+
+    fn flood_nodes(n: usize) -> Vec<Flood> {
+        (0..n).map(|v| Flood { has_token: v == 0, forwarded: false }).collect()
+    }
+
+    #[test]
+    fn flood_takes_diameter_rounds() {
+        let g = path(10);
+        let run = Network::new(&g).run(flood_nodes(10)).unwrap();
+        assert!(run.nodes.iter().all(|f| f.has_token));
+        // Node 0 sends in round 0; node 9 receives in round 9's inbox and
+        // forwards in round 9. Last message in flight was sent in round 9.
+        assert_eq!(run.stats.rounds, 10);
+    }
+
+    #[test]
+    fn flood_on_star_takes_two_rounds() {
+        let g = star(12);
+        let run = Network::new(&g).run(flood_nodes(12)).unwrap();
+        assert!(run.nodes.iter().all(|f| f.has_token));
+        assert_eq!(run.stats.rounds, 2);
+    }
+
+    #[test]
+    fn message_and_bit_counts() {
+        let g = path(3);
+        let run = Network::new(&g).run(flood_nodes(3)).unwrap();
+        // 0 -> 1 ; 1 -> {0, 2} ; 2 -> 1 : four messages of one bit.
+        assert_eq!(run.stats.messages, 4);
+        assert_eq!(run.stats.total_bits, 4);
+        assert_eq!(run.stats.max_edge_bits, 1);
+    }
+
+    /// Protocol that tries to push too many bits across an edge.
+    #[derive(Debug)]
+    struct Hog {
+        sent: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Big(u64);
+
+    impl MessageSize for Big {
+        fn size_bits(&self) -> u64 {
+            self.0
+        }
+    }
+
+    impl NodeProtocol for Hog {
+        type Msg = Big;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Big>, _inbox: &[(NodeId, Big)]) {
+            if ctx.me() == 0 && !self.sent {
+                let cap = ctx.cap_bits();
+                ctx.send(1, Big(cap + 1));
+                self.sent = true;
+            } else {
+                self.sent = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn bandwidth_cap_enforced() {
+        let g = path(2);
+        let err = Network::new(&g)
+            .run(vec![Hog { sent: false }, Hog { sent: false }])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::BandwidthExceeded { .. }));
+    }
+
+    #[test]
+    fn split_messages_also_capped() {
+        // Two messages whose sum exceeds the cap must also be rejected.
+        #[derive(Debug)]
+        struct TwoSends {
+            sent: bool,
+        }
+        impl NodeProtocol for TwoSends {
+            type Msg = Big;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, Big>, _inbox: &[(NodeId, Big)]) {
+                if ctx.me() == 0 && !self.sent {
+                    let cap = ctx.cap_bits();
+                    ctx.send(1, Big(cap));
+                    ctx.send(1, Big(1));
+                }
+                self.sent = true;
+            }
+            fn is_done(&self) -> bool {
+                self.sent
+            }
+        }
+        let g = path(2);
+        let err = Network::new(&g)
+            .run(vec![TwoSends { sent: false }, TwoSends { sent: false }])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::BandwidthExceeded { .. }));
+    }
+
+    #[test]
+    fn non_neighbor_send_rejected() {
+        #[derive(Debug)]
+        struct Bad {
+            sent: bool,
+        }
+        impl NodeProtocol for Bad {
+            type Msg = Token;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, Token>, _inbox: &[(NodeId, Token)]) {
+                if ctx.me() == 0 && !self.sent {
+                    ctx.send(2, Token); // 0 and 2 are not adjacent on a path
+                }
+                self.sent = true;
+            }
+            fn is_done(&self) -> bool {
+                self.sent
+            }
+        }
+        let g = path(3);
+        let err = Network::new(&g)
+            .run((0..3).map(|_| Bad { sent: false }).collect())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::NotANeighbor { from: 0, to: 2, .. }));
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        /// Never terminates: keeps bouncing the token.
+        #[derive(Debug)]
+        struct Forever;
+        impl NodeProtocol for Forever {
+            type Msg = Token;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, Token>, _inbox: &[(NodeId, Token)]) {
+                ctx.broadcast(Token);
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = path(2);
+        let err = Network::new(&g)
+            .with_round_limit(10)
+            .run(vec![Forever, Forever])
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::RoundLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn wrong_node_count_rejected() {
+        let g = path(3);
+        let err = Network::new(&g).run(flood_nodes(2)).unwrap_err();
+        assert_eq!(err, RuntimeError::WrongNodeCount { expected: 3, got: 2 });
+    }
+
+    #[test]
+    fn silent_protocol_uses_zero_rounds() {
+        #[derive(Debug)]
+        struct Quiet;
+        impl NodeProtocol for Quiet {
+            type Msg = Token;
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, Token>, _inbox: &[(NodeId, Token)]) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = path(4);
+        let run = Network::new(&g).run(vec![Quiet, Quiet, Quiet, Quiet]).unwrap();
+        assert_eq!(run.stats.rounds, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let g = path(6);
+        let net = Network::new(&g);
+        let plain = net.run(flood_nodes(6)).unwrap();
+        let (traced, trace) = net.run_traced(flood_nodes(6)).unwrap();
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(trace.rounds.len(), traced.stats.rounds);
+        assert_eq!(trace.total_bits(), traced.stats.total_bits);
+        let (peak_round, peak) = trace.peak_round().unwrap();
+        assert!(peak.bits >= 1 && peak_round < trace.rounds.len());
+        assert!(trace.render(10).contains("round"));
+    }
+
+    #[test]
+    fn trace_busiest_edge_within_cap() {
+        let g = star(8);
+        let net = Network::new(&g);
+        let (_, trace) = net.run_traced(flood_nodes(8)).unwrap();
+        for r in &trace.rounds {
+            if let Some((_, _, bits)) = r.busiest_edge {
+                assert!(bits <= net.cap_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut ledger = RoundLedger::new();
+        ledger.record("a", RunStats { rounds: 3, messages: 5, total_bits: 50, max_edge_bits: 10 });
+        ledger.record("a2", RunStats { rounds: 4, messages: 1, total_bits: 8, max_edge_bits: 8 });
+        ledger.record("b", RunStats { rounds: 2, ..Default::default() });
+        assert_eq!(ledger.total_rounds(), 9);
+        assert_eq!(ledger.rounds_for("a"), 7);
+        assert_eq!(ledger.total_messages(), 6);
+        assert_eq!(ledger.total_bits(), 58);
+        let mut outer = RoundLedger::new();
+        outer.absorb("phase1", ledger);
+        assert_eq!(outer.total_rounds(), 9);
+        assert!(outer.phases()[0].0.starts_with("phase1/"));
+    }
+}

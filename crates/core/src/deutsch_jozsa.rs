@@ -1,0 +1,260 @@
+//! Distributed Deutsch–Jozsa (paper §4.3, Problem 16, Theorems 17–18).
+//!
+//! Every node holds `x^{(v)} ∈ {0,1}^k`; the XOR `x = ⨁_v x^{(v)}` is
+//! promised constant or balanced. One superposed query through the
+//! framework decides which **with probability 1** in
+//! `O(D·⌈log k/log n⌉)` measured rounds (Theorem 17) — an exponential
+//! separation from exact classical CONGEST, which needs `Ω(k/log n + D)`
+//! rounds (Theorem 18).
+//!
+//! The exact classical baseline here streams the whole XOR vector to the
+//! leader (one `p = k` batch); the bounded-error classical algorithm that
+//! samples a few indices is also provided to demonstrate why the
+//! separation needs zero error.
+
+use crate::framework::{CongestOracle, StoredValues};
+use congest::aggregate::CommOp;
+use congest::runtime::{Network, RoundLedger, RuntimeError};
+use pquery::deutsch_jozsa::{deutsch_jozsa as pq_dj, DjAnswer, PromiseViolation};
+use pquery::oracle::BatchSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A distributed Deutsch–Jozsa instance.
+#[derive(Debug, Clone)]
+pub struct DjInstance {
+    /// `local[v][i]` = node `v`'s share bit of index `i`.
+    pub local: Vec<Vec<bool>>,
+}
+
+impl DjInstance {
+    /// Random instance whose XOR aggregate is constant (`value`) or
+    /// balanced, split into random XOR shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k` is not an even power of two.
+    pub fn random(n: usize, k: usize, answer: DjAnswer, seed: u64) -> Self {
+        assert!(n > 0 && k >= 2 && k.is_power_of_two());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agg: Vec<bool> = match answer {
+            DjAnswer::Constant => {
+                let v = rng.gen_bool(0.5);
+                vec![v; k]
+            }
+            DjAnswer::Balanced => {
+                let mut bits: Vec<bool> = (0..k).map(|i| i < k / 2).collect();
+                use rand::seq::SliceRandom;
+                bits.shuffle(&mut rng);
+                bits
+            }
+        };
+        // Random XOR shares.
+        let mut local = vec![vec![false; k]; n];
+        for i in 0..k {
+            let mut parity = false;
+            for node in local.iter_mut().take(n - 1) {
+                let b = rng.gen_bool(0.5);
+                node[i] = b;
+                parity ^= b;
+            }
+            local[n - 1][i] = parity ^ agg[i];
+        }
+        DjInstance { local }
+    }
+
+    /// The XOR aggregate (ground truth).
+    pub fn aggregate(&self) -> Vec<bool> {
+        let k = self.local[0].len();
+        (0..k)
+            .map(|i| self.local.iter().fold(false, |a, v| a ^ v[i]))
+            .collect()
+    }
+}
+
+/// Result of a distributed Deutsch–Jozsa run.
+#[derive(Debug, Clone)]
+pub struct DjResult {
+    /// The answer (certain for the quantum and exact-classical variants).
+    pub answer: DjAnswer,
+    /// Measured rounds.
+    pub rounds: usize,
+    /// Oracle batches.
+    pub batches: usize,
+    /// The full phase ledger.
+    pub ledger: RoundLedger,
+}
+
+fn provider_for(net: &Network<'_>, inst: &DjInstance) -> StoredValues {
+    let n = net.graph().n();
+    assert_eq!(inst.local.len(), n, "instance size must match the network");
+    let local: Vec<Vec<u64>> = inst
+        .local
+        .iter()
+        .map(|row| row.iter().map(|&b| b as u64).collect())
+        .collect();
+    StoredValues::new(local, 1, CommOp::Xor)
+}
+
+/// Quantum distributed Deutsch–Jozsa (Theorem 17): probability-1 answer in
+/// `O(D·⌈log k/log n⌉)` measured rounds (one superposed batch).
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`]; returns the inner `Result` error if the
+/// instance violates the promise.
+pub fn quantum_dj(
+    net: &Network<'_>,
+    inst: &DjInstance,
+    seed: u64,
+) -> Result<Result<DjResult, PromiseViolation>, RuntimeError> {
+    let provider = provider_for(net, inst);
+    let mut oracle = CongestOracle::setup(net, provider, 1, seed)?;
+    match pq_dj(&mut oracle) {
+        Ok(out) => Ok(Ok(DjResult {
+            answer: out.answer,
+            rounds: oracle.rounds(),
+            batches: oracle.batches(),
+            ledger: oracle.into_ledger(),
+        })),
+        Err(e) => Ok(Err(e)),
+    }
+}
+
+/// Exact classical baseline: stream the whole XOR vector to the leader
+/// (one `p = k` batch) — `Θ(k/log n + D)` measured rounds, matching the
+/// Theorem 18 lower bound up to log factors.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+pub fn classical_exact_dj(
+    net: &Network<'_>,
+    inst: &DjInstance,
+    seed: u64,
+) -> Result<DjResult, RuntimeError> {
+    let provider = provider_for(net, inst);
+    let k = inst.local[0].len();
+    let mut oracle = CongestOracle::setup(net, provider, k, seed)?;
+    let all: Vec<usize> = (0..k).collect();
+    let bits = oracle.query(&all);
+    let w: u64 = bits.iter().sum();
+    let answer = if w == 0 || w == k as u64 { DjAnswer::Constant } else { DjAnswer::Balanced };
+    Ok(DjResult {
+        answer,
+        rounds: oracle.rounds(),
+        batches: oracle.batches(),
+        ledger: oracle.into_ledger(),
+    })
+}
+
+/// Bounded-error classical algorithm (the paper's closing remark of §4.3):
+/// sample `samples` random indices; if all equal, answer Constant. Fast —
+/// but errs with probability `2^{-samples}` on balanced inputs, which is
+/// why the exponential separation is specifically about *exact* protocols.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+pub fn classical_sampling_dj(
+    net: &Network<'_>,
+    inst: &DjInstance,
+    samples: usize,
+    seed: u64,
+) -> Result<DjResult, RuntimeError> {
+    assert!(samples >= 1);
+    let provider = provider_for(net, inst);
+    let k = inst.local[0].len();
+    let mut oracle = CongestOracle::setup(net, provider, samples.min(k), seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x006a_6f7a_7361);
+    let idxs: Vec<usize> = (0..samples.min(k)).map(|_| rng.gen_range(0..k)).collect();
+    let bits = oracle.query(&idxs);
+    let answer = if bits.iter().all(|&b| b == bits[0]) {
+        DjAnswer::Constant
+    } else {
+        DjAnswer::Balanced
+    };
+    Ok(DjResult {
+        answer,
+        rounds: oracle.rounds(),
+        batches: oracle.batches(),
+        ledger: oracle.into_ledger(),
+    })
+}
+
+/// Theorem 17's upper bound: `O(D·⌈log k/log n⌉)`.
+pub fn quantum_upper_bound(k: usize, d: usize, n: usize) -> f64 {
+    use congest::graph::bits_for;
+    d as f64 * (bits_for(k as u64) as f64 / bits_for(n as u64) as f64).ceil().max(1.0)
+}
+
+/// Theorem 18's exact-classical lower bound: `Ω(k/log n + D)`.
+pub fn classical_lower_bound(k: usize, d: usize, n: usize) -> f64 {
+    use congest::graph::bits_for;
+    k as f64 / bits_for(n as u64) as f64 + d as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::generators::{path, random_connected};
+
+    #[test]
+    fn instance_aggregates_match_promise() {
+        let c = DjInstance::random(7, 16, DjAnswer::Constant, 1);
+        let agg = c.aggregate();
+        assert!(agg.iter().all(|&b| b == agg[0]));
+        let b = DjInstance::random(7, 16, DjAnswer::Balanced, 2);
+        assert_eq!(b.aggregate().iter().filter(|&&x| x).count(), 8);
+    }
+
+    #[test]
+    fn quantum_always_correct() {
+        let g = random_connected(10, 0.2, 3);
+        let net = Network::new(&g);
+        for seed in 0..8 {
+            let ans = if seed % 2 == 0 { DjAnswer::Constant } else { DjAnswer::Balanced };
+            let inst = DjInstance::random(10, 32, ans, seed);
+            let res = quantum_dj(&net, &inst, seed).unwrap().unwrap();
+            assert_eq!(res.answer, ans, "seed {seed}: exactness violated");
+            assert_eq!(res.batches, 1);
+        }
+    }
+
+    #[test]
+    fn classical_exact_always_correct_but_slow() {
+        let g = path(12);
+        let net = Network::new(&g);
+        let inst = DjInstance::random(12, 256, DjAnswer::Balanced, 4);
+        let cr = classical_exact_dj(&net, &inst, 1).unwrap();
+        assert_eq!(cr.answer, DjAnswer::Balanced);
+        let qr = quantum_dj(&net, &inst, 1).unwrap().unwrap();
+        assert!(
+            qr.rounds * 2 < cr.rounds,
+            "quantum {} should beat classical {}",
+            qr.rounds,
+            cr.rounds
+        );
+    }
+
+    #[test]
+    fn sampling_dj_is_fast_but_errs_on_constant_never() {
+        let g = path(8);
+        let net = Network::new(&g);
+        let inst = DjInstance::random(8, 128, DjAnswer::Constant, 5);
+        let res = classical_sampling_dj(&net, &inst, 6, 2).unwrap();
+        assert_eq!(res.answer, DjAnswer::Constant);
+    }
+
+    #[test]
+    fn rounds_independent_of_k_for_quantum() {
+        // Theorem 17: rounds grow only logarithmically in k.
+        let g = path(10);
+        let net = Network::new(&g);
+        let small = DjInstance::random(10, 16, DjAnswer::Balanced, 6);
+        let large = DjInstance::random(10, 1024, DjAnswer::Balanced, 7);
+        let rs = quantum_dj(&net, &small, 1).unwrap().unwrap().rounds;
+        let rl = quantum_dj(&net, &large, 1).unwrap().unwrap().rounds;
+        assert!(rl <= rs * 4, "k=16: {rs} rounds, k=1024: {rl} rounds");
+    }
+}

@@ -1,0 +1,293 @@
+//! Distributed element distinctness (paper §4.2, Lemmas 12–15).
+//!
+//! Two variants:
+//!
+//! * **Distributed vector** (Lemma 12): each node holds `x^{(v)} ∈ [N]^k`;
+//!   decide whether `x = Σ_v x^{(v)}` has a repeated entry. Quantum:
+//!   `Õ(k^{2/3}D^{1/3} + D)` measured rounds via the parallel walk
+//!   (Lemma 5) with `p = D`. Classical baseline: one batch `p = k`.
+//! * **Between nodes** (Corollary 14): each node holds one value; `k = n`
+//!   via the indicator reduction.
+//!
+//! Lower bounds (Lemmas 13, 15) from two-party disjointness on the
+//! dumbbell / double-star topologies.
+
+use crate::framework::{CongestOracle, IndicatorValues, StoredValues};
+use congest::aggregate::CommOp;
+use congest::graph::bits_for;
+use congest::runtime::{Network, RoundLedger, RuntimeError};
+use pquery::distinctness::element_distinctness;
+use pquery::oracle::BatchSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A distributed-vector distinctness instance.
+#[derive(Debug, Clone)]
+pub struct DistinctnessInstance {
+    /// `local[v][i]` = node `v`'s share of entry `i`.
+    pub local: Vec<Vec<u64>>,
+    /// Value-domain bound `N` (aggregates lie in `[N·n]`).
+    pub n_bound: u64,
+}
+
+impl DistinctnessInstance {
+    /// Random instance whose aggregate is a permutation-like distinct
+    /// vector, optionally with one planted collision `(i, j)`.
+    ///
+    /// Shares are additive: the aggregate entry is split randomly across
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty dimensions or an out-of-range plant.
+    pub fn random(n: usize, k: usize, plant: Option<(usize, usize)>, seed: u64) -> Self {
+        assert!(n > 0 && k > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Distinct aggregate values 1000..1000+k, shuffled.
+        let mut agg: Vec<u64> = (0..k as u64).map(|i| 1000 + i).collect();
+        use rand::seq::SliceRandom;
+        agg.shuffle(&mut rng);
+        if let Some((i, j)) = plant {
+            assert!(i < k && j < k && i != j, "bad plant");
+            agg[j] = agg[i];
+        }
+        // Split each aggregate into n additive shares.
+        let mut local = vec![vec![0u64; k]; n];
+        for (i, &total) in agg.iter().enumerate() {
+            let mut rest = total;
+            for node in local.iter_mut().take(n - 1) {
+                let part = rng.gen_range(0..=rest);
+                node[i] = part;
+                rest -= part;
+            }
+            local[n - 1][i] = rest;
+        }
+        DistinctnessInstance { local, n_bound: 1000 + k as u64 }
+    }
+
+    /// The aggregate vector (ground truth).
+    pub fn aggregate(&self) -> Vec<u64> {
+        let k = self.local[0].len();
+        (0..k)
+            .map(|i| self.local.iter().map(|v| v[i]).sum())
+            .collect()
+    }
+
+    /// The true colliding pair with smallest indices, if any.
+    pub fn true_pair(&self) -> Option<(usize, usize)> {
+        let agg = self.aggregate();
+        let mut seen = std::collections::HashMap::new();
+        for (i, &v) in agg.iter().enumerate() {
+            if let Some(&j) = seen.get(&v) {
+                return Some((j, i));
+            }
+            seen.insert(v, i);
+        }
+        None
+    }
+}
+
+/// Result of a distinctness run.
+#[derive(Debug, Clone)]
+pub struct DistinctnessResult {
+    /// The reported colliding pair, if any.
+    pub pair: Option<(usize, usize)>,
+    /// Measured rounds.
+    pub rounds: usize,
+    /// Oracle batches.
+    pub batches: usize,
+    /// The full phase ledger.
+    pub ledger: RoundLedger,
+}
+
+fn provider_for(net: &Network<'_>, inst: &DistinctnessInstance) -> StoredValues {
+    let n = net.graph().n();
+    assert_eq!(inst.local.len(), n, "instance size must match the network");
+    let q = bits_for(inst.n_bound * n as u64);
+    StoredValues::new(inst.local.clone(), q, CommOp::Sum)
+}
+
+/// Quantum element distinctness in a distributed vector (Lemma 12):
+/// `Õ(k^{2/3}D^{1/3} + D)` measured rounds, success probability ≥ 2/3,
+/// one-sided (a reported pair is always real).
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+pub fn quantum_distinctness(
+    net: &Network<'_>,
+    inst: &DistinctnessInstance,
+    seed: u64,
+) -> Result<DistinctnessResult, RuntimeError> {
+    let provider = provider_for(net, inst);
+    let mut oracle = CongestOracle::setup(net, provider, 1, seed)?;
+    let p = oracle.suggested_p();
+    oracle.set_p(p);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1357_9bdf);
+    let out = element_distinctness(&mut oracle, &mut rng);
+    Ok(DistinctnessResult {
+        pair: out.pair,
+        rounds: oracle.rounds(),
+        batches: oracle.batches(),
+        ledger: oracle.into_ledger(),
+    })
+}
+
+/// Classical baseline: stream the whole aggregate to the leader in one
+/// `p = k` batch — `Θ(k·⌈log N/log n⌉ + D)` measured rounds, deterministic.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+pub fn classical_distinctness(
+    net: &Network<'_>,
+    inst: &DistinctnessInstance,
+    seed: u64,
+) -> Result<DistinctnessResult, RuntimeError> {
+    let provider = provider_for(net, inst);
+    let k = inst.local[0].len();
+    let mut oracle = CongestOracle::setup(net, provider, k, seed)?;
+    let all: Vec<usize> = (0..k).collect();
+    let agg = oracle.query(&all);
+    let mut seen = std::collections::HashMap::new();
+    let mut pair = None;
+    for (i, &v) in agg.iter().enumerate() {
+        if let Some(&j) = seen.get(&v) {
+            pair = Some((j, i));
+            break;
+        }
+        seen.insert(v, i);
+    }
+    Ok(DistinctnessResult {
+        pair,
+        rounds: oracle.rounds(),
+        batches: oracle.batches(),
+        ledger: oracle.into_ledger(),
+    })
+}
+
+/// Quantum element distinctness *between nodes* (Corollary 14): node `v`
+/// holds one value; `k = n` via the indicator reduction —
+/// `Õ(n^{2/3}D^{1/3} + D)` measured rounds.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+pub fn quantum_distinctness_between_nodes(
+    net: &Network<'_>,
+    values: &[u64],
+    seed: u64,
+) -> Result<DistinctnessResult, RuntimeError> {
+    let n = net.graph().n();
+    assert_eq!(values.len(), n, "one value per node");
+    let q = bits_for(values.iter().copied().max().unwrap_or(0).max(1));
+    let provider = IndicatorValues::new(values.to_vec(), q, CommOp::Sum);
+    let mut oracle = CongestOracle::setup(net, provider, 1, seed)?;
+    let p = oracle.suggested_p();
+    oracle.set_p(p);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2468_ace0);
+    let out = element_distinctness(&mut oracle, &mut rng);
+    Ok(DistinctnessResult {
+        pair: out.pair,
+        rounds: oracle.rounds(),
+        batches: oracle.batches(),
+        ledger: oracle.into_ledger(),
+    })
+}
+
+/// Lemma 12's upper bound:
+/// `O((k^{2/3}D^{1/3} + D)(⌈log N/log n⌉ + ⌈log k/log n⌉))`.
+pub fn quantum_upper_bound(k: usize, d: usize, n: usize, n_bound: u64) -> f64 {
+    let log_n = bits_for(n as u64) as f64;
+    let fac = (bits_for(n_bound) as f64 / log_n).ceil().max(1.0)
+        + (bits_for(k as u64) as f64 / log_n).ceil().max(1.0);
+    ((k as f64).powf(2.0 / 3.0) * (d as f64).powf(1.0 / 3.0) + d as f64) * fac
+}
+
+/// Lemma 13's classical lower bound: `Ω(k/log n + D)`.
+pub fn classical_lower_bound(k: usize, d: usize, n: usize) -> f64 {
+    k as f64 / bits_for(n as u64) as f64 + d as f64
+}
+
+/// Lemma 13/15's quantum lower bound: `Ω(∛(kD²) + √k)`.
+pub fn quantum_lower_bound(k: usize, d: usize) -> f64 {
+    (k as f64 * (d as f64).powi(2)).cbrt() + (k as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::generators::{double_star, grid, random_connected};
+
+    #[test]
+    fn instance_plant_and_truth() {
+        let inst = DistinctnessInstance::random(5, 30, Some((3, 17)), 1);
+        let agg = inst.aggregate();
+        assert_eq!(agg[3], agg[17]);
+        assert_eq!(inst.true_pair(), Some((3, 17)));
+        let clean = DistinctnessInstance::random(5, 30, None, 2);
+        assert_eq!(clean.true_pair(), None);
+    }
+
+    #[test]
+    fn classical_finds_planted_pair() {
+        let g = grid(3, 3);
+        let net = Network::new(&g);
+        let inst = DistinctnessInstance::random(9, 40, Some((7, 22)), 3);
+        let res = classical_distinctness(&net, &inst, 1).unwrap();
+        assert_eq!(res.pair, Some((7, 22)));
+        assert_eq!(res.batches, 1);
+    }
+
+    #[test]
+    fn quantum_finds_planted_pair_usually() {
+        let g = random_connected(12, 0.15, 4);
+        let net = Network::new(&g);
+        let inst = DistinctnessInstance::random(12, 64, Some((5, 40)), 5);
+        let mut hits = 0;
+        for seed in 0..6 {
+            let res = quantum_distinctness(&net, &inst, seed).unwrap();
+            if let Some(p) = res.pair {
+                assert_eq!(p, (5, 40), "one-sided: any reported pair is the real one");
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "{hits}/6");
+    }
+
+    #[test]
+    fn quantum_clean_instance_reports_none() {
+        let g = grid(4, 3);
+        let net = Network::new(&g);
+        let inst = DistinctnessInstance::random(12, 48, None, 6);
+        let res = quantum_distinctness(&net, &inst, 2).unwrap();
+        assert_eq!(res.pair, None);
+    }
+
+    #[test]
+    fn between_nodes_on_double_star() {
+        let g = double_star(6, 6);
+        let net = Network::new(&g);
+        let mut values: Vec<u64> = (0..g.n() as u64).map(|v| 100 + v).collect();
+        values[10] = values[2]; // plant a duplicate
+        let mut found = 0;
+        for seed in 0..6 {
+            let res = quantum_distinctness_between_nodes(&net, &values, seed).unwrap();
+            if let Some((i, j)) = res.pair {
+                assert_eq!(values[i], values[j]);
+                found += 1;
+            }
+        }
+        assert!(found >= 3, "{found}/6");
+    }
+
+    #[test]
+    fn quantum_beats_classical_for_large_k() {
+        let g = random_connected(14, 0.25, 8);
+        let net = Network::new(&g);
+        let inst = DistinctnessInstance::random(14, 1000, Some((100, 900)), 9);
+        let qr = quantum_distinctness(&net, &inst, 4).unwrap();
+        let cr = classical_distinctness(&net, &inst, 4).unwrap();
+        assert!(qr.rounds < cr.rounds, "quantum {} !< classical {}", qr.rounds, cr.rounds);
+    }
+}

@@ -1,0 +1,273 @@
+//! Distributed phase estimation and amplitude estimation (paper §6,
+//! Lemma 29 and Corollary 30).
+//!
+//! Phase estimation of a distributed unitary `U` (an `R`-round CONGEST
+//! procedure with a shared eigenstate) costs
+//! `O((R/ε)·log(1/δ) + D)` rounds: the leader shares a superposition over
+//! the power counter `k` via Lemma 7 (measured), the network applies `U^k`
+//! conditioned on `k` (charged `R` per application — phase kickback needs
+//! no extra communication), the counter is un-shared and the leader runs
+//! the inverse QFT locally. The measurement outcome is produced by a real
+//! statevector QPE (`qsim::phase_estimation`), so the estimate's error
+//! distribution is exactly quantum.
+//!
+//! Amplitude estimation (Corollary 30) is phase estimation applied to the
+//! amplification iterate of Lemma 27, with eigenphase `±2θ_a`
+//! (`a = sin²θ_a`); `√p_max/ε` iterate applications suffice.
+
+use congest::bfs::{build_bfs_tree, elect_leader};
+use congest::graph::bits_for;
+use congest::runtime::{Network, RoundLedger, RunStats, RuntimeError};
+use congest::tree_comm::{distribute_register, gather_register, Register, Schedule};
+use qsim::phase_estimation::{estimate_diagonal_phase, phase_distance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+/// Result of a distributed phase estimation.
+#[derive(Debug, Clone)]
+pub struct PhaseEstimationResult {
+    /// The phase estimate in `[0, 1)` (the true eigenphase is `2πφ`).
+    pub phi: f64,
+    /// Measured + charged rounds.
+    pub rounds: usize,
+    /// The full phase ledger.
+    pub ledger: RoundLedger,
+}
+
+/// Distributed phase estimation (Lemma 29): estimate the eigenphase `φ`
+/// (as a fraction of `2π`) of a distributed unitary costing `r_rounds` per
+/// application, to additive error `eps` with failure probability `delta`.
+///
+/// The counter registers for all `O(log 1/δ)` repetitions are streamed in
+/// one Lemma 7 pass, as in the paper's proof.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+///
+/// # Panics
+///
+/// Panics unless `0 < eps < 1` and `0 < delta < 1`.
+pub fn distributed_phase_estimation(
+    net: &Network<'_>,
+    phi_true: f64,
+    r_rounds: usize,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+) -> Result<PhaseEstimationResult, RuntimeError> {
+    assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+    let mut ledger = RoundLedger::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (leader, stats) = elect_leader(net, seed)?;
+    ledger.record("setup/leader-election", stats);
+    let tree = build_bfs_tree(net, leader)?;
+    ledger.record("setup/bfs-tree", tree.stats);
+
+    // t counting qubits: 2^t ≥ 2/ε (one guard bit), capped for the
+    // statevector outcome sampler.
+    let t = ((2.0 / eps).log2().ceil() as usize).clamp(1, 16);
+    let reps = (1.0 / delta).ln().max(1.0).ceil() as usize;
+
+    // Lemma 7: stream all reps' counter registers down in one pass.
+    let counter_bits = (t as u64) * reps as u64;
+    let reg = Register::zeros(counter_bits);
+    let (copies, stats) = distribute_register(net, &tree.views, reg, Schedule::Pipelined)?;
+    ledger.record("counters/distribute", stats);
+
+    // Controlled U^k: the network applies U up to 2^t − 1 times per
+    // repetition; each application is the cited r_rounds procedure
+    // (phase kickback — no extra communication beyond U itself).
+    let applications = ((1usize << t) - 1) * reps;
+    ledger.record(
+        "controlled-powers(charged)",
+        RunStats { rounds: applications * r_rounds, ..Default::default() },
+    );
+
+    // Un-share the counters (Lemma 7 reversed) and run the inverse QFT at
+    // the leader (local).
+    let (_root, stats) = gather_register(net, &tree.views, copies)?;
+    ledger.record("counters/gather", stats);
+
+    // Outcome: real statevector QPE per repetition, circular median.
+    let mut estimates: Vec<f64> =
+        (0..reps).map(|_| estimate_diagonal_phase(phi_true, t.min(10), &mut rng)).collect();
+    estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let phi = estimates
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let da: f64 = estimates.iter().map(|&e| phase_distance(a, e)).sum();
+            let db: f64 = estimates.iter().map(|&e| phase_distance(b, e)).sum();
+            da.partial_cmp(&db).unwrap()
+        })
+        .expect("reps >= 1");
+
+    let rounds = ledger.total_rounds();
+    Ok(PhaseEstimationResult { phi, rounds, ledger })
+}
+
+/// Result of a distributed amplitude estimation.
+#[derive(Debug, Clone)]
+pub struct AmplitudeEstimationResult {
+    /// The estimate of the good probability `p`.
+    pub estimate: f64,
+    /// Measured + charged rounds.
+    pub rounds: usize,
+    /// The full phase ledger.
+    pub ledger: RoundLedger,
+}
+
+/// Distributed amplitude estimation (Corollary 30): estimate the success
+/// probability `p ≤ p_max` of an `r_psi`-round preparation subroutine to
+/// additive error `eps`, failure probability `delta`, in
+/// `O((R_ψ + D)·(√p_max/ε)·log(1/δ))` rounds.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+///
+/// # Panics
+///
+/// Panics on out-of-range probabilities.
+pub fn distributed_amplitude_estimation(
+    net: &Network<'_>,
+    p_true: f64,
+    p_max: f64,
+    r_psi: usize,
+    eps: f64,
+    delta: f64,
+    seed: u64,
+) -> Result<AmplitudeEstimationResult, RuntimeError> {
+    assert!((0.0..=1.0).contains(&p_true) && p_true <= p_max && p_max <= 1.0);
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+    let mut ledger = RoundLedger::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xae57);
+
+    let (leader, stats) = elect_leader(net, seed)?;
+    ledger.record("setup/leader-election", stats);
+    let tree = build_bfs_tree(net, leader)?;
+    ledger.record("setup/bfs-tree", tree.stats);
+    let d_est = tree.depth as usize;
+
+    // Iterate applications: √p_max/ε per repetition ([BHMT02] conversion),
+    // each costing R_ψ + O(D) (Lemma 27).
+    let reps = (1.0 / delta).ln().max(1.0).ceil() as usize;
+    let per_rep = (p_max.sqrt() / eps).ceil().max(1.0) as usize;
+    let iterate_rounds = r_psi + 2 * d_est.max(1);
+    ledger.record(
+        "amplification-iterates(charged)",
+        RunStats { rounds: reps * per_rep * iterate_rounds, ..Default::default() },
+    );
+
+    // Outcome: QPE on the iterate's eigenphase 2θ_a; we sample through the
+    // real statevector QPE on the corresponding diagonal phase, then
+    // convert back — exactly the BHMT estimator's distribution.
+    let theta_a = p_true.sqrt().clamp(0.0, 1.0).asin();
+    let phi_true = theta_a / PI; // eigenphase 2θ_a as a fraction of 2π
+    let t = ((per_rep as f64).log2().ceil() as usize).clamp(2, 10);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let phi_est = estimate_diagonal_phase(phi_true, t, &mut rng);
+            (PI * phi_est).sin().powi(2)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let estimate = samples[samples.len() / 2]; // median boosting
+    let rounds = ledger.total_rounds();
+    Ok(AmplitudeEstimationResult { estimate, rounds, ledger })
+}
+
+/// Lemma 29's round bound: `O((R/ε)·log(1/δ) + D)`.
+pub fn phase_estimation_upper_bound(r: usize, d: usize, eps: f64, delta: f64) -> f64 {
+    r as f64 / eps * (1.0 / delta).ln().max(1.0) + d as f64
+}
+
+/// Corollary 30's round bound: `O((R_ψ + D)·(√p_max/ε)·log(1/δ))`.
+pub fn amplitude_estimation_upper_bound(
+    r_psi: usize,
+    d: usize,
+    p_max: f64,
+    eps: f64,
+    delta: f64,
+) -> f64 {
+    (r_psi + d) as f64 * p_max.sqrt() / eps * (1.0 / delta).ln().max(1.0)
+}
+
+/// Helper: the `⌈q/log n⌉` streaming factor of Lemma 7 for a `q`-qubit
+/// register on an `n`-node network.
+pub fn streaming_factor(q: u64, n: usize) -> u64 {
+    q.div_ceil(bits_for(n.saturating_sub(1) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::generators::{grid, path};
+
+    #[test]
+    fn phase_estimate_accurate() {
+        let g = grid(4, 3);
+        let net = Network::new(&g);
+        let mut ok = 0;
+        for seed in 0..10 {
+            let res =
+                distributed_phase_estimation(&net, 0.3141, 3, 0.02, 0.1, seed).unwrap();
+            if phase_distance(res.phi, 0.3141) <= 0.02 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "{ok}/10 within ε");
+    }
+
+    #[test]
+    fn phase_estimation_rounds_scale_with_precision() {
+        let g = path(6);
+        let net = Network::new(&g);
+        let coarse = distributed_phase_estimation(&net, 0.2, 2, 0.1, 0.2, 1).unwrap();
+        let fine = distributed_phase_estimation(&net, 0.2, 2, 0.01, 0.2, 1).unwrap();
+        assert!(
+            fine.rounds > 4 * coarse.rounds,
+            "ε/10 should cost ~10×: {} vs {}",
+            coarse.rounds,
+            fine.rounds
+        );
+    }
+
+    #[test]
+    fn amplitude_estimate_accurate() {
+        let g = grid(3, 3);
+        let net = Network::new(&g);
+        let mut ok = 0;
+        for seed in 0..10 {
+            let res = distributed_amplitude_estimation(&net, 0.25, 0.5, 4, 0.05, 0.1, seed)
+                .unwrap();
+            if (res.estimate - 0.25).abs() <= 0.08 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 7, "{ok}/10 close");
+    }
+
+    #[test]
+    fn amplitude_estimation_uses_pmax() {
+        let g = path(5);
+        let net = Network::new(&g);
+        let loose = distributed_amplitude_estimation(&net, 0.01, 1.0, 2, 0.05, 0.2, 2).unwrap();
+        let tight = distributed_amplitude_estimation(&net, 0.01, 0.04, 2, 0.05, 0.2, 2).unwrap();
+        assert!(
+            tight.rounds < loose.rounds,
+            "smaller p_max must help: {} vs {}",
+            tight.rounds,
+            loose.rounds
+        );
+    }
+
+    #[test]
+    fn streaming_factor_values() {
+        assert_eq!(streaming_factor(10, 1024), 1);
+        assert_eq!(streaming_factor(25, 1024), 3);
+    }
+}

@@ -1,0 +1,428 @@
+//! Exact mode: the framework's quantum mechanics run on a real statevector
+//! distributed over the network's nodes.
+//!
+//! The scalable drivers emulate quantum algorithms at the schedule level
+//! (see DESIGN.md); this module validates the *quantum* content of the
+//! construction itself at small sizes, with nothing emulated:
+//!
+//! * **Lemma 7 forward**: node `v`'s register occupies qubits
+//!   `[v·q, (v+1)·q)` of a global `n·q`-qubit state. Starting from the
+//!   leader's `Σᵢ αᵢ|i⟩` (all other registers `|0⟩`), applying CNOT
+//!   fan-outs along the BFS-tree edges produces exactly
+//!   `Σᵢ αᵢ|i⟩^{⊗n}` — verified by state fidelity. The corresponding round
+//!   cost is measured by the classical chunk protocol on the same tree
+//!   (the communication pattern is identical for every basis-state
+//!   branch, which is *why* Lemma 7 works).
+//! * **Lemma 7 reverse**: the fan-out undone; the leader's register
+//!   returns to `Σᵢ αᵢ|i⟩` exactly.
+//! * **Distributed Deutsch–Jozsa (Theorem 17)**: each node applies its
+//!   local phase oracle `(−1)^{x_j^{(v)}}` to *its own* register copy;
+//!   since every reachable basis state has all copies equal, the phases
+//!   multiply to `(−1)^{⊕_v x_j^{(v)}}` — the distributed XOR query with no
+//!   value communication at all. After un-distribution and local
+//!   Hadamards, the leader's measurement is deterministic.
+
+use congest::bfs::build_bfs_tree;
+use congest::graph::Graph;
+use congest::runtime::{Network, RuntimeError};
+use congest::tree_comm::{distribute_register, gather_register, Register, Schedule};
+use qsim::complex::C64;
+use qsim::state::{State, EPS};
+use pquery::deutsch_jozsa::DjAnswer;
+
+/// Maximum total qubits (`n·q`) the exact mode will simulate.
+pub const MAX_TOTAL_QUBITS: usize = 22;
+
+/// Outcome of an exact Lemma 7 round trip.
+#[derive(Debug, Clone)]
+pub struct ExactDistributeResult {
+    /// Fidelity of the distributed state with `Σᵢ αᵢ|i⟩^{⊗n}`.
+    pub distribute_fidelity: f64,
+    /// Fidelity of the re-gathered state with the original.
+    pub roundtrip_fidelity: f64,
+    /// Measured rounds of the distribute phase (chunk protocol).
+    pub distribute_rounds: usize,
+    /// Measured rounds of the gather phase.
+    pub gather_rounds: usize,
+}
+
+/// Build the CNOT fan-out (or its inverse) for tree `parent[]` on a global
+/// state with `q` qubits per node.
+fn apply_fanout(state: &mut State, order: &[usize], parents: &[Option<usize>], q: usize, invert: bool) {
+    let edges: Vec<(usize, usize)> = order
+        .iter()
+        .filter_map(|&v| parents[v].map(|p| (p, v)))
+        .collect();
+    let iter: Box<dyn Iterator<Item = &(usize, usize)>> =
+        if invert { Box::new(edges.iter().rev()) } else { Box::new(edges.iter()) };
+    for &(p, v) in iter {
+        for b in 0..q {
+            state.cnot(p * q + b, v * q + b);
+        }
+    }
+}
+
+/// Run Lemma 7 exactly: distribute the leader state `amplitudes` (over
+/// `2^q` basis states) to all `n` nodes and back, verifying fidelities and
+/// measuring rounds.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`] from the measured chunk protocols.
+///
+/// # Panics
+///
+/// Panics if `n·q > MAX_TOTAL_QUBITS` or the amplitude vector is invalid.
+pub fn exact_distribute_roundtrip(
+    g: &Graph,
+    leader: usize,
+    amplitudes: Vec<C64>,
+) -> Result<ExactDistributeResult, RuntimeError> {
+    let n = g.n();
+    let dim = amplitudes.len();
+    assert!(dim.is_power_of_two() && dim >= 2);
+    let q = dim.trailing_zeros() as usize;
+    assert!(n * q <= MAX_TOTAL_QUBITS, "statevector too large: {n}×{q} qubits");
+
+    let net = Network::new(g);
+    let tree = build_bfs_tree(&net, leader)?;
+    let parents: Vec<Option<usize>> = tree.views.iter().map(|v| v.parent).collect();
+    let order = g.bfs_order(leader);
+
+    // Global state: leader register holds ψ, everything else |0⟩.
+    let mut amps = vec![C64::ZERO; 1usize << (n * q)];
+    for (i, &a) in amplitudes.iter().enumerate() {
+        amps[i << (leader * q)] = a;
+    }
+    let mut state = State::from_amplitudes(amps);
+
+    // Forward fan-out.
+    apply_fanout(&mut state, &order, &parents, q, false);
+
+    // Expected Σᵢ αᵢ|i⟩^{⊗n}.
+    let mut want = vec![C64::ZERO; 1usize << (n * q)];
+    for (i, &a) in amplitudes.iter().enumerate() {
+        let mut idx = 0usize;
+        for v in 0..n {
+            idx |= i << (v * q);
+        }
+        want[idx] = a;
+    }
+    let want = State::from_amplitudes(want);
+    let distribute_fidelity = state.fidelity(&want);
+
+    // Measured rounds for the same operation (chunk transport on the tree).
+    let (copies, dstats) = distribute_register(
+        &net,
+        &tree.views,
+        Register::from_value(q as u64, 0),
+        Schedule::Pipelined,
+    )?;
+
+    // Reverse fan-out.
+    apply_fanout(&mut state, &order, &parents, q, true);
+    let mut orig = vec![C64::ZERO; 1usize << (n * q)];
+    for (i, &a) in amplitudes.iter().enumerate() {
+        orig[i << (leader * q)] = a;
+    }
+    let orig = State::from_amplitudes(orig);
+    let roundtrip_fidelity = state.fidelity(&orig);
+
+    let (_reg, gstats) = gather_register(&net, &tree.views, copies)?;
+
+    Ok(ExactDistributeResult {
+        distribute_fidelity,
+        roundtrip_fidelity,
+        distribute_rounds: dstats.rounds,
+        gather_rounds: gstats.rounds,
+    })
+}
+
+/// Outcome of an exact distributed Deutsch–Jozsa run.
+#[derive(Debug, Clone)]
+pub struct ExactDjResult {
+    /// The measured answer.
+    pub answer: DjAnswer,
+    /// Probability of the measured outcome (must be 1: the algorithm is
+    /// exact).
+    pub outcome_probability: f64,
+    /// Measured rounds (distribute + gather; the query itself is local).
+    pub rounds: usize,
+}
+
+/// Run distributed Deutsch–Jozsa **exactly** on a statevector spread over
+/// the network (Theorem 17): `local[v]` is node `v`'s share of the length-
+/// `k` XOR input, `k` a power of two.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+///
+/// # Panics
+///
+/// Panics if the state would exceed [`MAX_TOTAL_QUBITS`], shares are
+/// malformed, or the XOR aggregate violates the promise.
+pub fn exact_distributed_dj(
+    g: &Graph,
+    leader: usize,
+    local: &[Vec<bool>],
+) -> Result<ExactDjResult, RuntimeError> {
+    let n = g.n();
+    assert_eq!(local.len(), n);
+    let k = local[0].len();
+    assert!(k.is_power_of_two() && k >= 2);
+    assert!(local.iter().all(|x| x.len() == k));
+    let q = k.trailing_zeros() as usize;
+    assert!(n * q <= MAX_TOTAL_QUBITS, "statevector too large");
+
+    // Promise check on the aggregate.
+    let agg: Vec<bool> = (0..k).map(|i| local.iter().fold(false, |a, x| a ^ x[i])).collect();
+    let expected = qsim::deutsch_jozsa::check_promise(&agg).expect("promise violated");
+
+    let net = Network::new(g);
+    let tree = build_bfs_tree(&net, leader)?;
+    let parents: Vec<Option<usize>> = tree.views.iter().map(|v| v.parent).collect();
+    let order = g.bfs_order(leader);
+
+    // Leader prepares H^{⊗q}|0⟩ in its register.
+    let mut state = State::zero(n * q);
+    for b in 0..q {
+        state.h(leader * q + b);
+    }
+
+    // Lemma 7 forward (CNOT fan-out) — measured cost via the chunk
+    // protocol.
+    apply_fanout(&mut state, &order, &parents, q, false);
+    let (copies, dstats) = distribute_register(
+        &net,
+        &tree.views,
+        Register::from_value(q as u64, 0),
+        Schedule::Pipelined,
+    )?;
+
+    // The query: every node phases its own register copy by its local
+    // share — no communication at all (the XOR appears by phase
+    // multiplication).
+    for (v, shares) in local.iter().enumerate() {
+        let vq = v * q;
+        let mask = (k - 1) << vq;
+        state.apply_phase_fn(|x| {
+            let j = (x & mask) >> vq;
+            if shares[j] {
+                std::f64::consts::PI
+            } else {
+                0.0
+            }
+        });
+    }
+
+    // Lemma 7 reverse, measured.
+    apply_fanout(&mut state, &order, &parents, q, true);
+    let (_reg, gstats) = gather_register(&net, &tree.views, copies)?;
+
+    // Leader: H^{⊗q} and measure its register.
+    for b in 0..q {
+        state.h(leader * q + b);
+    }
+    let mask = (k - 1) << (leader * q);
+    let p_zero = state.probability_where(|x| x & mask == 0);
+    let answer = if p_zero > 0.5 { DjAnswer::Constant } else { DjAnswer::Balanced };
+    let outcome_probability = if p_zero > 0.5 { p_zero } else { 1.0 - p_zero };
+    debug_assert_eq!(answer, expected, "exactness violated");
+    debug_assert!(outcome_probability > 1.0 - EPS);
+
+    Ok(ExactDjResult {
+        answer,
+        outcome_probability,
+        rounds: dstats.rounds + gstats.rounds,
+    })
+}
+
+/// Outcome of an exact distributed Bernstein–Vazirani run.
+#[derive(Debug, Clone)]
+pub struct ExactBvResult {
+    /// The recovered hidden string.
+    pub recovered: Vec<bool>,
+    /// Probability of the measured outcome (must be 1).
+    pub outcome_probability: f64,
+    /// Measured rounds (distribute + gather).
+    pub rounds: usize,
+}
+
+/// Run distributed Bernstein–Vazirani **exactly** on a statevector spread
+/// over the network: `local[v]` is node `v`'s XOR share of the hidden
+/// `m`-bit string. Identical mechanics to [`exact_distributed_dj`], but
+/// the local phase is `(−1)^{s^{(v)}·x}` and the leader's measurement
+/// reveals the whole string.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+///
+/// # Panics
+///
+/// Panics if the state would exceed [`MAX_TOTAL_QUBITS`] or shares are
+/// malformed.
+pub fn exact_distributed_bv(
+    g: &Graph,
+    leader: usize,
+    local: &[Vec<bool>],
+) -> Result<ExactBvResult, RuntimeError> {
+    let n = g.n();
+    assert_eq!(local.len(), n);
+    let m = local[0].len();
+    assert!(m >= 1 && local.iter().all(|x| x.len() == m));
+    assert!(n * m <= MAX_TOTAL_QUBITS, "statevector too large");
+
+    let net = Network::new(g);
+    let tree = build_bfs_tree(&net, leader)?;
+    let parents: Vec<Option<usize>> = tree.views.iter().map(|v| v.parent).collect();
+    let order = g.bfs_order(leader);
+
+    let mut state = State::zero(n * m);
+    for b in 0..m {
+        state.h(leader * m + b);
+    }
+    apply_fanout(&mut state, &order, &parents, m, false);
+    let (copies, dstats) = distribute_register(
+        &net,
+        &tree.views,
+        Register::from_value(m as u64, 0),
+        Schedule::Pipelined,
+    )?;
+
+    // Each node phases its own copy by (−1)^{s^{(v)}·x}.
+    for (v, share) in local.iter().enumerate() {
+        let vm = v * m;
+        let mask = ((1usize << m) - 1) << vm;
+        let share = share.clone();
+        state.apply_phase_fn(move |x| {
+            let j = (x & mask) >> vm;
+            let dot = share
+                .iter()
+                .enumerate()
+                .fold(false, |acc, (i, &b)| acc ^ (b && (j >> i) & 1 == 1));
+            if dot {
+                std::f64::consts::PI
+            } else {
+                0.0
+            }
+        });
+    }
+
+    apply_fanout(&mut state, &order, &parents, m, true);
+    let (_reg, gstats) = gather_register(&net, &tree.views, copies)?;
+
+    for b in 0..m {
+        state.h(leader * m + b);
+    }
+    // Measure the leader's register: deterministically |s⟩.
+    let mask = ((1usize << m) - 1) << (leader * m);
+    let mut best = (0usize, 0.0f64);
+    for s in 0..(1usize << m) {
+        let p = state.probability_where(|x| (x & mask) >> (leader * m) == s);
+        if p > best.1 {
+            best = (s, p);
+        }
+    }
+    let recovered: Vec<bool> = (0..m).map(|i| (best.0 >> i) & 1 == 1).collect();
+    debug_assert!(best.1 > 1.0 - EPS, "BV must be deterministic, got {}", best.1);
+    Ok(ExactBvResult {
+        recovered,
+        outcome_probability: best.1,
+        rounds: dstats.rounds + gstats.rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::generators::{balanced_tree, path, star};
+    use qsim::complex::c64;
+
+    #[test]
+    fn distribute_roundtrip_is_exact() {
+        // 4 nodes × 2 qubits: ψ = (|0⟩ + i|3⟩)/√2.
+        let g = path(4);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let amps = vec![c64(s, 0.0), C64::ZERO, C64::ZERO, c64(0.0, s)];
+        let res = exact_distribute_roundtrip(&g, 0, amps).unwrap();
+        assert!(res.distribute_fidelity > 1.0 - EPS, "fidelity {}", res.distribute_fidelity);
+        assert!(res.roundtrip_fidelity > 1.0 - EPS);
+        assert!(res.distribute_rounds > 0);
+    }
+
+    #[test]
+    fn distribute_from_inner_leader() {
+        let g = star(5);
+        let amps = vec![c64(0.6, 0.0), c64(0.0, 0.8)];
+        let res = exact_distribute_roundtrip(&g, 0, amps).unwrap();
+        assert!(res.distribute_fidelity > 1.0 - EPS);
+    }
+
+    #[test]
+    fn exact_dj_constant_and_balanced() {
+        let g = balanced_tree(2, 2); // 7 nodes
+        // k = 4 (q = 2): 7 × 2 = 14 qubits.
+        let n = g.n();
+        // Constant: shares XOR to all-ones.
+        let mut local = vec![vec![false; 4]; n];
+        local[0] = vec![true, true, true, true];
+        local[3] = vec![true, false, true, false];
+        local[5] = vec![true, false, true, false];
+        let res = exact_distributed_dj(&g, 0, &local).unwrap();
+        assert_eq!(res.answer, DjAnswer::Constant);
+        assert!(res.outcome_probability > 1.0 - EPS);
+
+        // Balanced.
+        let mut local = vec![vec![false; 4]; n];
+        local[2] = vec![true, false, true, false];
+        let res = exact_distributed_dj(&g, 0, &local).unwrap();
+        assert_eq!(res.answer, DjAnswer::Balanced);
+        assert!(res.outcome_probability > 1.0 - EPS);
+    }
+
+    #[test]
+    fn exact_bv_recovers_hidden_string() {
+        // 5 nodes × 4 bits = 20 qubits.
+        let g = path(5);
+        for seed in 0..4u64 {
+            let hidden: Vec<bool> = (0..4).map(|i| (seed >> i) & 1 == 1).collect();
+            let inst = crate::bernstein_vazirani::BvInstance::random(5, &hidden, seed);
+            let res = exact_distributed_bv(&g, 0, &inst.local).unwrap();
+            assert_eq!(res.recovered, hidden, "seed {seed}");
+            assert!(res.outcome_probability > 1.0 - EPS);
+        }
+    }
+
+    #[test]
+    fn exact_bv_agrees_with_scheduled_bv() {
+        let g = star(4);
+        let net = Network::new(&g);
+        let hidden = vec![true, false, true];
+        let inst = crate::bernstein_vazirani::BvInstance::random(4, &hidden, 3);
+        let exact = exact_distributed_bv(&g, 0, &inst.local).unwrap();
+        let emulated = crate::bernstein_vazirani::quantum_bv(&net, &inst, 1).unwrap();
+        assert_eq!(exact.recovered, emulated.recovered);
+    }
+
+    #[test]
+    fn exact_dj_agrees_with_emulation_on_all_small_promises() {
+        let g = path(3);
+        // k = 2, q = 1: enumerate all share patterns whose XOR is a
+        // promise input.
+        for bits in 0..64u32 {
+            let local: Vec<Vec<bool>> = (0..3)
+                .map(|v| (0..2).map(|i| bits >> (v * 2 + i) & 1 == 1).collect())
+                .collect();
+            let agg: Vec<bool> =
+                (0..2).map(|i| local.iter().fold(false, |a, x| a ^ x[i])).collect();
+            if qsim::deutsch_jozsa::check_promise(&agg).is_err() {
+                continue;
+            }
+            let want = qsim::deutsch_jozsa::deutsch_jozsa(&agg).unwrap();
+            let res = exact_distributed_dj(&g, 0, &local).unwrap();
+            assert_eq!(res.answer, want, "shares {bits:06b}");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Triangle detection — step 1 of the girth algorithm (Corollary 26).
+//!
+//! * **Quantum**: the `Õ(n^{1/5})` algorithm of `[CFGLO22]` is a cited
+//!   black box (like the clustering of Lemma 24); we charge its round
+//!   count and compute the answer structurally — see DESIGN.md's
+//!   substitution table.
+//! * **Classical baseline**: an *honest protocol* — every node streams its
+//!   adjacency list to each neighbor, one id per edge per round; a node
+//!   that sees a common neighbor closes a triangle. `O(Δ)` measured
+//!   rounds (`Δ` = max degree), the folklore baseline.
+
+use congest::graph::{bits_for, Graph, NodeId};
+use congest::runtime::{
+    Ctx, MessageSize, Network, NodeProtocol, RoundLedger, RunStats, RuntimeError,
+};
+
+/// Reference (centralized): find a triangle via sorted-adjacency
+/// intersection, `O(Σ deg²)`.
+pub fn find_triangle(g: &Graph) -> Option<(NodeId, NodeId, NodeId)> {
+    for &(u, v) in g.edges() {
+        // Intersect neighbor lists of u and v (both sorted).
+        let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    if x != u && x != v {
+                        return Some((u, v, x));
+                    }
+                    a = &a[1..];
+                    b = &b[1..];
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One adjacency-list entry in flight: "I am adjacent to `neighbor`".
+#[derive(Debug, Clone, Copy)]
+pub struct AdjMsg {
+    /// A neighbor of the sender.
+    pub neighbor: NodeId,
+}
+
+impl MessageSize for AdjMsg {
+    fn size_bits(&self) -> u64 {
+        1 + bits_for(self.neighbor as u64)
+    }
+}
+
+/// The folklore classical protocol: stream adjacency lists to neighbors;
+/// a node holding edge `{v, w}` that learns `u` is adjacent to both closes
+/// the triangle `{u, v, w}`.
+#[derive(Debug)]
+pub struct AdjacencyExchangeProtocol {
+    my_neighbors: Vec<NodeId>,
+    next_to_send: usize,
+    /// Triangle witnessed at this node, if any.
+    found: Option<(NodeId, NodeId, NodeId)>,
+}
+
+impl AdjacencyExchangeProtocol {
+    /// Instances for all nodes of `g`.
+    pub fn instances(g: &Graph) -> Vec<Self> {
+        (0..g.n())
+            .map(|v| AdjacencyExchangeProtocol {
+                my_neighbors: g.neighbors(v).to_vec(),
+                next_to_send: 0,
+                found: None,
+            })
+            .collect()
+    }
+
+    /// The triangle this node witnessed, if any.
+    pub fn found(&self) -> Option<(NodeId, NodeId, NodeId)> {
+        self.found
+    }
+}
+
+impl NodeProtocol for AdjacencyExchangeProtocol {
+    type Msg = AdjMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, AdjMsg>, inbox: &[(NodeId, AdjMsg)]) {
+        let me = ctx.me();
+        for (from, msg) in inbox {
+            // `from` is adjacent to `msg.neighbor`; if we are too (and the
+            // three are distinct), {me, from, neighbor} is a triangle.
+            if msg.neighbor != me && self.my_neighbors.binary_search(&msg.neighbor).is_ok() {
+                let mut tri = [me, *from, msg.neighbor];
+                tri.sort_unstable();
+                self.found = Some((tri[0], tri[1], tri[2]));
+            }
+        }
+        // Stream one adjacency entry per round to every neighbor.
+        if self.next_to_send < self.my_neighbors.len() {
+            let entry = self.my_neighbors[self.next_to_send];
+            self.next_to_send += 1;
+            let targets: Vec<NodeId> = ctx.neighbors().to_vec();
+            for w in targets {
+                ctx.send(w, AdjMsg { neighbor: entry });
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.next_to_send >= self.my_neighbors.len()
+    }
+}
+
+/// Result of a triangle search.
+#[derive(Debug, Clone)]
+pub struct TriangleResult {
+    /// A triangle, if one exists.
+    pub triangle: Option<(NodeId, NodeId, NodeId)>,
+    /// Measured (classical) or charged (quantum black-box) rounds.
+    pub rounds: usize,
+    /// Phase ledger.
+    pub ledger: RoundLedger,
+}
+
+/// Classical triangle detection: the honest adjacency-exchange protocol,
+/// `O(Δ)` measured rounds, deterministic and exact.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`].
+pub fn classical_triangle_detection(net: &Network<'_>) -> Result<TriangleResult, RuntimeError> {
+    let g = net.graph();
+    let mut ledger = RoundLedger::new();
+    let run = net.run(AdjacencyExchangeProtocol::instances(g))?;
+    ledger.record("adjacency-exchange", run.stats);
+    let triangle = run.nodes.iter().find_map(|p| p.found());
+    debug_assert_eq!(triangle.is_some(), find_triangle(g).is_some());
+    let rounds = ledger.total_rounds();
+    Ok(TriangleResult { triangle, rounds, ledger })
+}
+
+/// Round charge of the cited `Õ(n^{1/5})` quantum triangle finder
+/// `[CFGLO22]`: `⌈n^{1/5}⌉·⌈log n⌉²`.
+pub fn quantum_triangle_charge(n: usize) -> usize {
+    let log_n = (usize::BITS - n.leading_zeros()) as usize;
+    ((n as f64).powf(0.2).ceil() as usize) * log_n * log_n
+}
+
+/// Quantum triangle detection: the `[CFGLO22]` black box — answer computed
+/// structurally, rounds charged (substitution; see DESIGN.md).
+///
+/// # Errors
+///
+/// Never fails; the `Result` keeps the signature uniform with the other
+/// detectors.
+pub fn quantum_triangle_detection(net: &Network<'_>) -> Result<TriangleResult, RuntimeError> {
+    let g = net.graph();
+    let mut ledger = RoundLedger::new();
+    ledger.record(
+        "triangle-blackbox(charged)",
+        RunStats { rounds: quantum_triangle_charge(g.n()), ..Default::default() },
+    );
+    let triangle = find_triangle(g);
+    let rounds = ledger.total_rounds();
+    Ok(TriangleResult { triangle, rounds, ledger })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::generators::{
+        complete, cycle, grid, hypercube, lollipop, random_tree, star,
+    };
+
+    #[test]
+    fn reference_triangle_detection() {
+        assert!(find_triangle(&complete(4)).is_some());
+        assert!(find_triangle(&lollipop(4, 5)).is_some());
+        assert!(find_triangle(&grid(4, 4)).is_none());
+        assert!(find_triangle(&hypercube(3)).is_none());
+        assert!(find_triangle(&cycle(5)).is_none());
+        let t = find_triangle(&complete(5)).unwrap();
+        assert!(t.0 < t.1 && t.1 < t.2);
+    }
+
+    #[test]
+    fn classical_protocol_matches_reference() {
+        for g in [
+            complete(6),
+            lollipop(5, 8),
+            grid(5, 4),
+            cycle(9),
+            star(10),
+            random_tree(25, 3),
+        ] {
+            let net = Network::new(&g);
+            let res = classical_triangle_detection(&net).unwrap();
+            assert_eq!(res.triangle.is_some(), find_triangle(&g).is_some(), "{g:?}");
+            if let Some((a, b, c)) = res.triangle {
+                assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c));
+            }
+        }
+    }
+
+    #[test]
+    fn classical_rounds_scale_with_max_degree() {
+        let sparse = cycle(40);
+        let dense = star(40);
+        let r_sparse = classical_triangle_detection(&Network::new(&sparse)).unwrap().rounds;
+        let r_dense = classical_triangle_detection(&Network::new(&dense)).unwrap().rounds;
+        assert!(r_dense > 5 * r_sparse, "Δ=39 star {r_dense} vs Δ=2 cycle {r_sparse}");
+    }
+
+    #[test]
+    fn quantum_charge_sublinear() {
+        let g = lollipop(6, 10);
+        let net = Network::new(&g);
+        let res = quantum_triangle_detection(&net).unwrap();
+        assert!(res.triangle.is_some());
+        assert!(quantum_triangle_charge(1_000_000) < 1_000_000 / 2);
+    }
+}

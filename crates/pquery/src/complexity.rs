@@ -1,0 +1,77 @@
+//! Closed-form batch-complexity formulas for the parallel-query algorithms
+//! of the paper's Section 2.
+//!
+//! The experiment harness compares *measured* batch counts (from the
+//! ledgers of the emulated algorithms) against these formulas; they are
+//! the `b` that Theorem 8 turns into CONGEST rounds.
+
+/// Lemma 2, find-one: `⌈√(k/(t·p))⌉` expected batches (`t ≥ 1` marked).
+pub fn grover_one_batches(k: usize, t: usize, p: usize) -> f64 {
+    assert!(k >= 1 && t >= 1 && p >= 1);
+    (k as f64 / (t as f64 * p as f64)).sqrt().ceil().max(1.0)
+}
+
+/// Lemma 2, find-all: `√(kt/p) + t` expected batches.
+pub fn grover_all_batches(k: usize, t: usize, p: usize) -> f64 {
+    assert!(k >= 1 && p >= 1);
+    (k as f64 * t as f64 / p as f64).sqrt() + t as f64
+}
+
+/// Lemma 3: `⌈√(k/p)⌉` expected batches for minimum finding.
+pub fn minimum_batches(k: usize, p: usize) -> f64 {
+    grover_one_batches(k, 1, p)
+}
+
+/// Lemma 3, ℓ-fold optimum: `⌈√(k/(ℓ·p))⌉` expected batches.
+pub fn minimum_multiplicity_batches(k: usize, ell: usize, p: usize) -> f64 {
+    grover_one_batches(k, ell, p)
+}
+
+/// Lemma 5: `⌈(k/p)^{2/3}⌉` batches for element distinctness.
+pub fn distinctness_batches(k: usize, p: usize) -> f64 {
+    assert!(k >= 1 && p >= 1);
+    (k as f64 / p as f64).powf(2.0 / 3.0).ceil().max(1.0)
+}
+
+/// Lemma 6: `⌈(σ/(√p·ε))·log^{3/2}(·)·loglog(·)⌉` batches for ε-additive
+/// mean estimation (log factors floored at 1).
+pub fn mean_batches(sigma: f64, eps: f64, p: usize) -> f64 {
+    assert!(eps > 0.0 && sigma >= 0.0 && p >= 1);
+    let x = sigma / ((p as f64).sqrt() * eps);
+    if x <= 1.0 {
+        return 1.0;
+    }
+    let lg = x.ln().max(1.0);
+    (x * lg.powf(1.5) * lg.ln().max(1.0)).ceil()
+}
+
+/// Deutsch–Jozsa: exactly 1 batch.
+pub fn deutsch_jozsa_batches() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grover_formula_values() {
+        assert_eq!(grover_one_batches(100, 1, 1), 10.0);
+        assert_eq!(grover_one_batches(100, 4, 1), 5.0);
+        assert_eq!(grover_one_batches(100, 1, 4), 5.0);
+        assert_eq!(grover_one_batches(1, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn distinctness_formula_values() {
+        assert_eq!(distinctness_batches(1000, 1), 100.0);
+        assert_eq!(distinctness_batches(1000, 1000), 1.0);
+    }
+
+    #[test]
+    fn formulas_monotone() {
+        assert!(grover_all_batches(1000, 9, 1) > grover_all_batches(1000, 1, 1));
+        assert!(minimum_batches(1000, 1) > minimum_batches(1000, 16));
+        assert!(mean_batches(10.0, 0.01, 1) > mean_batches(10.0, 0.1, 1));
+    }
+}

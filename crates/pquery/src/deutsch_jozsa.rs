@@ -1,0 +1,79 @@
+//! The Deutsch–Jozsa query algorithm as a batch-oracle client — the
+//! `O(1)`-query, zero-error algorithm behind the paper's §4.3.
+//!
+//! One oracle use over a superposition of **all** `k` indices decides
+//! constant-vs-balanced with certainty. In the batch accounting that is a
+//! single charged batch: the index register (`⌈log k⌉` qubits) visits the
+//! oracle once, whatever `p` is. The outcome is deterministic, so the
+//! emulation computes it exactly from the ground truth (`peek`); the
+//! statevector run in `qsim::deutsch_jozsa` validates the determinism.
+
+use crate::oracle::BatchSource;
+pub use qsim::deutsch_jozsa::{check_promise, DjAnswer, PromiseViolation};
+
+/// Result of the distributed-oracle Deutsch–Jozsa run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DjOutcome {
+    /// The (certain) answer.
+    pub answer: DjAnswer,
+    /// Batches charged (always 1).
+    pub batches: usize,
+}
+
+/// Decide constant-vs-balanced with probability 1 using one oracle batch.
+///
+/// # Errors
+///
+/// Returns [`PromiseViolation`] if the input (read via ground truth) is
+/// neither constant nor balanced — the algorithm's behaviour is undefined
+/// off-promise, so we refuse rather than return garbage.
+pub fn deutsch_jozsa<S: BatchSource + ?Sized>(src: &mut S) -> Result<DjOutcome, PromiseViolation> {
+    let start = src.batches();
+    let k = src.k();
+    let x: Vec<bool> = (0..k).map(|i| src.peek(i) & 1 == 1).collect();
+    let answer = check_promise(&x)?;
+    // The single charged batch: the superposed query's transcript. Its
+    // representative content is index 0; the round cost in the CONGEST
+    // implementation depends only on the register widths.
+    src.query(&[0]);
+    Ok(DjOutcome { answer, batches: src.batches() - start })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::VecSource;
+
+    #[test]
+    fn constant_and_balanced() {
+        let mut c = VecSource::new(vec![1u64; 16], 4);
+        assert_eq!(deutsch_jozsa(&mut c).unwrap().answer, DjAnswer::Constant);
+        let mut b = VecSource::new((0..16).map(|i| (i < 8) as u64).collect(), 4);
+        assert_eq!(deutsch_jozsa(&mut b).unwrap().answer, DjAnswer::Balanced);
+    }
+
+    #[test]
+    fn exactly_one_batch() {
+        let mut c = VecSource::new(vec![0u64; 32], 1);
+        let out = deutsch_jozsa(&mut c).unwrap();
+        assert_eq!(out.batches, 1);
+        assert_eq!(c.batches(), 1);
+    }
+
+    #[test]
+    fn rejects_off_promise() {
+        let mut bad = VecSource::new(vec![1, 0, 0, 0], 1);
+        assert!(deutsch_jozsa(&mut bad).is_err());
+    }
+
+    #[test]
+    fn agrees_with_statevector() {
+        for pattern in [vec![0u64; 8], vec![1u64; 8], vec![1, 0, 1, 0, 1, 0, 1, 0]] {
+            let mut src = VecSource::new(pattern.clone(), 2);
+            let emulated = deutsch_jozsa(&mut src).unwrap().answer;
+            let bits: Vec<bool> = pattern.iter().map(|&v| v == 1).collect();
+            let exact = qsim::deutsch_jozsa::deutsch_jozsa(&bits).unwrap();
+            assert_eq!(emulated, exact);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # pquery — parallel-query quantum algorithms (paper §2)
+//!
+//! A *(b, p)-parallel-query algorithm* (Definition 1 of van Apeldoorn &
+//! de Vos, PODC 2022) makes `b` batches of `p` simultaneous oracle queries.
+//! This crate provides the paper's Section 2 toolbox with exact batch
+//! accounting:
+//!
+//! * [`oracle`] — the [`oracle::BatchSource`] trait and its ledger;
+//! * [`grover`] — parallel Grover search, find-one and find-all (Lemma 2);
+//! * [`minimum`] — parallel Dürr–Høyer minimum/maximum finding, with the
+//!   ℓ-fold-optimum speedup (Lemma 3);
+//! * [`distinctness`] — parallel element distinctness via the Johnson-graph
+//!   walk schedule (Lemma 5);
+//! * [`mean`] — parallel mean estimation (Lemma 6);
+//! * [`deutsch_jozsa`] — the exact 1-query algorithm (§4.3);
+//! * [`complexity`] — the closed-form batch counts the harness compares
+//!   measurements against.
+//!
+//! The algorithms are *schedule-faithful emulations*: charged batch counts
+//! follow the quantum analyses and outcomes are sampled from the
+//! distributions quantum mechanics prescribes, with `qsim` statevector runs
+//! as small-size ground truth. See the `oracle` module docs and DESIGN.md
+//! for the emulation contract.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pquery::oracle::{BatchSource, VecSource};
+//! use pquery::grover::search_one;
+//! use rand::SeedableRng;
+//!
+//! let mut data = vec![0u64; 1000];
+//! data[321] = 1;
+//! let mut src = VecSource::new(data, 16); // p = 16 parallel queries
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let out = search_one(&mut src, &|v| v != 0, &mut rng);
+//! assert_eq!(out.found, Some(321));
+//! println!("{} batches (√(k/p) ≈ 8)", out.batches);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod complexity;
+pub mod counting;
+pub mod deutsch_jozsa;
+pub mod distinctness;
+pub mod grover;
+pub mod mean;
+pub mod minimum;
+pub mod oracle;
+pub mod walk;
+
+pub use oracle::{BatchSource, VecSource};

@@ -1,0 +1,206 @@
+//! Parallel minimum/maximum finding — Lemma 3 of the paper (the
+//! Dürr–Høyer algorithm over the parallel Grover of Lemma 2).
+//!
+//! Keeps a threshold index; each round runs a parallel Grover search for a
+//! strictly better element. The classic analysis gives expected
+//! `O(⌈√(k/p)⌉)` total batches; with at least `ℓ` elements attaining the
+//! optimum, `O(⌈√(k/(ℓp))⌉)` batches.
+
+use crate::grover::{search_one, search_one_promised};
+use crate::oracle::BatchSource;
+use rand::Rng;
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extremum {
+    /// Find an index attaining the minimum value.
+    Min,
+    /// Find an index attaining the maximum value.
+    Max,
+}
+
+/// Result of a minimum/maximum search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtremumOutcome {
+    /// The optimizing index.
+    pub index: usize,
+    /// Its value.
+    pub value: u64,
+    /// Batches charged.
+    pub batches: usize,
+}
+
+/// Dürr–Høyer with parallel Grover: find an index attaining the
+/// minimum/maximum with probability ≥ 2/3 in `O(⌈√(k/p)⌉)` expected
+/// batches.
+///
+/// The final round (which fails to improve the threshold) certifies the
+/// answer with the one-sided-error guarantee of `search_one`: the returned
+/// value is always a genuine data value, but may fail to be the true
+/// optimum with probability ≤ 1/3.
+pub fn find_extremum<S, R>(src: &mut S, dir: Extremum, rng: &mut R) -> ExtremumOutcome
+where
+    S: BatchSource + ?Sized,
+    R: Rng,
+{
+    let start = src.batches();
+    let k = src.k();
+    // Initial threshold: a uniformly random index, queried honestly.
+    let mut best_i = rng.gen_range(0..k);
+    let mut best_v = src.query(&[best_i])[0];
+    loop {
+        let better = |v: u64| match dir {
+            Extremum::Min => v < best_v,
+            Extremum::Max => v > best_v,
+        };
+        match search_one(src, &better, rng).found {
+            Some(i) => {
+                best_i = i;
+                best_v = src.peek(i);
+            }
+            None => break,
+        }
+    }
+    ExtremumOutcome { index: best_i, value: best_v, batches: src.batches() - start }
+}
+
+/// Lemma 3's multiplicity variant: if at least `ell` indices attain the
+/// optimum the expected batch count drops to `O(⌈√(k/(ℓp))⌉)`. The caller
+/// asserts the multiplicity (it is a promise, not checked).
+///
+/// Implementation note: until the optimum is reached every threshold keeps
+/// at least `ℓ` improving elements, and the final certification may also
+/// assume `t ≥ ℓ` — so every search round runs under the `t_promise = ℓ`
+/// budget of [`search_one_promised`], which is exactly where Lemma 3's
+/// analysis saves its `√ℓ` factor.
+pub fn find_extremum_with_multiplicity<S, R>(
+    src: &mut S,
+    dir: Extremum,
+    ell: usize,
+    rng: &mut R,
+) -> ExtremumOutcome
+where
+    S: BatchSource + ?Sized,
+    R: Rng,
+{
+    assert!(ell >= 1);
+    let start = src.batches();
+    let k = src.k();
+    let mut best_i = rng.gen_range(0..k);
+    let mut best_v = src.query(&[best_i])[0];
+    loop {
+        let better = |v: u64| match dir {
+            Extremum::Min => v < best_v,
+            Extremum::Max => v > best_v,
+        };
+        match search_one_promised(src, &better, ell, rng).found {
+            Some(i) => {
+                best_i = i;
+                best_v = src.peek(i);
+            }
+            None => break,
+        }
+    }
+    ExtremumOutcome { index: best_i, value: best_v, batches: src.batches() - start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::VecSource;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_minimum_usually() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = 0;
+        for trial in 0..20 {
+            let k = 500;
+            let data: Vec<u64> = (0..k).map(|i| ((i * 7919 + trial * 13) % 1000 + 5) as u64).collect();
+            let true_min = *data.iter().min().unwrap();
+            let mut src = VecSource::new(data, 8);
+            let out = find_extremum(&mut src, Extremum::Min, &mut rng);
+            if out.value == true_min {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 16, "{hits}/20");
+    }
+
+    #[test]
+    fn finds_maximum_usually() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut hits = 0;
+        for trial in 0..20 {
+            let data: Vec<u64> = (0..400).map(|i| ((i * 31 + trial) % 777) as u64).collect();
+            let true_max = *data.iter().max().unwrap();
+            let mut src = VecSource::new(data, 8);
+            let out = find_extremum(&mut src, Extremum::Max, &mut rng);
+            if out.value == true_max {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 16, "{hits}/20");
+    }
+
+    #[test]
+    fn returned_value_is_genuine() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data: Vec<u64> = (0..100).map(|i| (i * i % 97) as u64).collect();
+        let mut src = VecSource::new(data.clone(), 4);
+        let out = find_extremum(&mut src, Extremum::Min, &mut rng);
+        assert_eq!(data[out.index], out.value);
+    }
+
+    #[test]
+    fn batches_scale_inverse_sqrt_p() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let k = 4096;
+        let avg = |p: usize, rng: &mut StdRng| -> f64 {
+            let runs = 25;
+            let mut total = 0;
+            for r in 0..runs {
+                let data: Vec<u64> = (0..k as u64).map(|i| (i * 2654435761 + r as u64 * 97) % 100000).collect();
+                let mut src = VecSource::new(data, p);
+                total += find_extremum(&mut src, Extremum::Min, rng).batches;
+            }
+            total as f64 / runs as f64
+        };
+        let b1 = avg(1, &mut rng);
+        let b16 = avg(16, &mut rng);
+        assert!(b1 / b16 > 1.7, "b(p=1)={b1}, b(p=16)={b16}");
+    }
+
+    #[test]
+    fn multiplicity_lowers_cost() {
+        // With ℓ copies of the minimum, the certification is cheaper.
+        let mut rng = StdRng::seed_from_u64(15);
+        let k = 4096;
+        let avg = |ell: usize, rng: &mut StdRng| -> f64 {
+            let runs = 25;
+            let mut total = 0;
+            for r in 0..runs {
+                let mut data: Vec<u64> = (0..k).map(|i| (100 + (i * 37 + r) % 1000) as u64).collect();
+                for j in 0..ell {
+                    data[(j * 613 + r) % k] = 1; // ℓ minimum copies
+                }
+                let mut src = VecSource::new(data, 4);
+                total += find_extremum_with_multiplicity(&mut src, Extremum::Min, ell, rng).batches;
+            }
+            total as f64 / runs as f64
+        };
+        let b1 = avg(1, &mut rng);
+        let b64 = avg(64, &mut rng);
+        assert!(b1 / b64 > 1.5, "b(ℓ=1)={b1}, b(ℓ=64)={b64}");
+    }
+
+    #[test]
+    fn single_element_input() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut src = VecSource::new(vec![42], 1);
+        let out = find_extremum(&mut src, Extremum::Min, &mut rng);
+        assert_eq!(out.index, 0);
+        assert_eq!(out.value, 42);
+    }
+}

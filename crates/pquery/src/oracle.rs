@@ -1,0 +1,185 @@
+//! Parallel-query oracles with batch accounting (paper Definition 1).
+//!
+//! A *(b, p)-parallel-query algorithm* makes `b` uses of `O^{⊗p}`: `b`
+//! batches of at most `p` simultaneous queries. [`BatchSource`] is the
+//! oracle interface: every call to [`query`](BatchSource::query) is one
+//! charged batch, whatever its size (charging per batch, not per query, is
+//! what the CONGEST framework converts into rounds — Theorem 8).
+//!
+//! ## The emulation contract
+//!
+//! The algorithms in this crate emulate quantum query algorithms at the
+//! *schedule* level (see DESIGN.md): the number and width of charged
+//! batches follows the quantum algorithm's analysis, and measurement
+//! outcomes are sampled from the distributions quantum mechanics
+//! prescribes. Sampling those outcomes requires global knowledge that the
+//! emulated algorithm itself never observes — e.g. the number of marked
+//! items `t` determines Grover's success probability `sin²((2j+1)θ)`.
+//! [`peek`](BatchSource::peek) provides that knowledge **to the emulator
+//! only**; implementations must not let `peek` influence any cost ledger.
+//! Exact statevector runs in the `qsim` crate validate that the emulated
+//! outcome distributions match real quantum executions at small sizes.
+
+/// The parallel input oracle `O^{⊗p}` for data `x ∈ A^k` with `A ⊆ u64`.
+pub trait BatchSource {
+    /// Input length `k`.
+    fn k(&self) -> usize;
+
+    /// Maximum batch width `p`.
+    fn p(&self) -> usize;
+
+    /// One charged batch of at most `p` parallel queries; returns
+    /// `x[indices[0]], …` in order.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `indices.len() > p` or an index is out of
+    /// range.
+    fn query(&mut self, indices: &[usize]) -> Vec<u64>;
+
+    /// Uncharged ground-truth access for measurement-outcome sampling
+    /// (see the module docs). Never affects accounting.
+    fn peek(&self, i: usize) -> u64;
+
+    /// Number of batches charged so far — the `b` of Definition 1.
+    fn batches(&self) -> usize;
+
+    /// Total individual queries charged so far (≤ `p · batches`).
+    fn queries(&self) -> u64;
+}
+
+/// An in-memory [`BatchSource`] over a value vector.
+///
+/// # Examples
+///
+/// ```
+/// use pquery::oracle::{BatchSource, VecSource};
+///
+/// let mut src = VecSource::new(vec![5, 7, 9, 11], 2);
+/// assert_eq!(src.query(&[0, 3]), vec![5, 11]);
+/// assert_eq!(src.query(&[2]), vec![9]);
+/// assert_eq!(src.batches(), 2);
+/// assert_eq!(src.queries(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    data: Vec<u64>,
+    p: usize,
+    batches: usize,
+    queries: u64,
+}
+
+impl VecSource {
+    /// A source over `data` with batch width `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `p == 0`.
+    pub fn new(data: Vec<u64>, p: usize) -> Self {
+        assert!(!data.is_empty(), "oracle needs at least one item");
+        assert!(p >= 1, "batch width must be at least 1");
+        VecSource { data, p, batches: 0, queries: 0 }
+    }
+
+    /// Reset the ledger (data unchanged).
+    pub fn reset_ledger(&mut self) {
+        self.batches = 0;
+        self.queries = 0;
+    }
+
+    /// The underlying data.
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+}
+
+impl BatchSource for VecSource {
+    fn k(&self) -> usize {
+        self.data.len()
+    }
+
+    fn p(&self) -> usize {
+        self.p
+    }
+
+    fn query(&mut self, indices: &[usize]) -> Vec<u64> {
+        assert!(indices.len() <= self.p, "batch wider than p = {}", self.p);
+        assert!(!indices.is_empty(), "empty batch");
+        self.batches += 1;
+        self.queries += indices.len() as u64;
+        indices
+            .iter()
+            .map(|&i| {
+                assert!(i < self.data.len(), "index {i} out of range");
+                self.data[i]
+            })
+            .collect()
+    }
+
+    fn peek(&self, i: usize) -> u64 {
+        self.data[i]
+    }
+
+    fn batches(&self) -> usize {
+        self.batches
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// Count of marked items under `pred`, by uncharged scan — emulator helper.
+pub fn count_marked<S: BatchSource + ?Sized, F: Fn(u64) -> bool>(src: &S, pred: &F) -> usize {
+    (0..src.k()).filter(|&i| pred(src.peek(i))).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_counts_batches_not_queries() {
+        let mut s = VecSource::new((0..100).collect(), 10);
+        s.query(&[1, 2, 3]);
+        s.query(&(0..10).collect::<Vec<_>>());
+        assert_eq!(s.batches(), 2);
+        assert_eq!(s.queries(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than p")]
+    fn oversized_batch_rejected() {
+        let mut s = VecSource::new(vec![1, 2, 3], 2);
+        s.query(&[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_rejected() {
+        let mut s = VecSource::new(vec![1, 2, 3], 2);
+        s.query(&[5]);
+    }
+
+    #[test]
+    fn peek_is_uncharged() {
+        let s = VecSource::new(vec![4, 5, 6], 1);
+        assert_eq!(s.peek(2), 6);
+        assert_eq!(s.batches(), 0);
+        assert_eq!(s.queries(), 0);
+    }
+
+    #[test]
+    fn count_marked_scans() {
+        let s = VecSource::new(vec![0, 1, 0, 2, 3], 1);
+        assert_eq!(count_marked(&s, &|v| v != 0), 3);
+    }
+
+    #[test]
+    fn reset_ledger() {
+        let mut s = VecSource::new(vec![1], 1);
+        s.query(&[0]);
+        s.reset_ledger();
+        assert_eq!(s.batches(), 0);
+    }
+}

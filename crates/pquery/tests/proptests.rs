@@ -1,0 +1,183 @@
+//! Property-based tests for the parallel-query algorithms: soundness
+//! (answers are never fabricated), ledger consistency, and formula
+//! sanity across the parameter space.
+
+use pquery::distinctness::{element_distinctness, true_pairs, walk_subset_size};
+use pquery::grover::{marked_subset_fraction, search_all, search_one};
+use pquery::mean::{estimate_mean, true_mean, true_std};
+use pquery::minimum::{find_extremum, Extremum};
+use pquery::oracle::{BatchSource, VecSource};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn subset_fraction_is_probability_and_monotone(
+        k in 2usize..500,
+        t_pick in 0usize..500,
+        p_pick in 1usize..500,
+    ) {
+        let t = t_pick % (k + 1);
+        let p = 1 + (p_pick - 1) % k;
+        let f = marked_subset_fraction(k, t, p);
+        prop_assert!((0.0..=1.0).contains(&f));
+        if t < k {
+            prop_assert!(marked_subset_fraction(k, t + 1, p) >= f - 1e-12);
+        }
+        if p < k {
+            prop_assert!(marked_subset_fraction(k, t, p + 1) >= f - 1e-12);
+        }
+        if t == 0 {
+            prop_assert_eq!(f, 0.0);
+        }
+    }
+
+    #[test]
+    fn search_one_sound_and_ledger_consistent(
+        k in 8usize..600,
+        p_pick in 1usize..64,
+        marks in proptest::collection::vec(0usize..600, 0..5),
+        seed in any::<u64>(),
+    ) {
+        let p = 1 + (p_pick - 1) % k;
+        let mut data = vec![0u64; k];
+        for &m in &marks {
+            data[m % k] = 1;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = VecSource::new(data.clone(), p);
+        let out = search_one(&mut src, &|v| v != 0, &mut rng);
+        // Soundness: a returned index is genuinely marked.
+        if let Some(i) = out.found {
+            prop_assert_eq!(data[i], 1);
+        }
+        // Ledger: batches on the outcome equal the source's ledger, and
+        // queries never exceed p per batch.
+        prop_assert_eq!(out.batches, src.batches());
+        prop_assert!(src.queries() <= (src.batches() as u64) * p as u64);
+    }
+
+    #[test]
+    fn search_all_returns_subset_of_marked(
+        k in 8usize..400,
+        marks in proptest::collection::vec(0usize..400, 0..6),
+        seed in any::<u64>(),
+    ) {
+        let mut data = vec![0u64; k];
+        for &m in &marks {
+            data[m % k] = 1;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = VecSource::new(data.clone(), 8.min(k));
+        let (found, _) = search_all(&mut src, &|v| v != 0, &mut rng);
+        for &i in &found {
+            prop_assert_eq!(data[i], 1);
+        }
+        // No duplicates.
+        let mut sorted = found.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), found.len());
+    }
+
+    #[test]
+    fn minimum_returns_genuine_value(
+        data in proptest::collection::vec(0u64..10_000, 4..300),
+        p_pick in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let p = 1 + (p_pick - 1) % data.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = VecSource::new(data.clone(), p);
+        let out = find_extremum(&mut src, Extremum::Min, &mut rng);
+        prop_assert_eq!(data[out.index], out.value);
+        prop_assert!(out.value >= *data.iter().min().unwrap());
+    }
+
+    #[test]
+    fn distinctness_pair_is_real_or_none(
+        k in 8usize..300,
+        dup in proptest::collection::vec((0usize..300, 0usize..300), 0..3),
+        seed in any::<u64>(),
+    ) {
+        let mut data: Vec<u64> = (0..k as u64).map(|i| 100_000 + i).collect();
+        for &(a, b) in &dup {
+            let (a, b) = (a % k, b % k);
+            if a != b {
+                data[b] = data[a];
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = VecSource::new(data.clone(), 8.min(k));
+        let out = element_distinctness(&mut src, &mut rng);
+        match out.pair {
+            Some((i, j)) => {
+                prop_assert!(i < j);
+                prop_assert_eq!(data[i], data[j]);
+            }
+            None => {
+                // One-sided: "none" may be wrong, but on truly distinct
+                // inputs it must always be the answer.
+                if true_pairs(&src).is_empty() {
+                    prop_assert!(out.pair.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_subset_size_in_proof_range(k in 4usize..100_000, p_pick in 1usize..4096) {
+        let p = 1 + (p_pick - 1) % k;
+        let z = walk_subset_size(k, p);
+        prop_assert!(z > p, "need p < z");
+        prop_assert!(z <= (k / 2).max(p + 1), "need z <= k/2");
+    }
+
+    #[test]
+    fn mean_estimate_bounded_error(
+        data in proptest::collection::vec(0u64..64, 16..400),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = VecSource::new(data, 4);
+        let mu = true_mean(&src);
+        let sigma = true_std(&src);
+        let eps = 1.5;
+        let out = estimate_mean(&mut src, sigma, eps, &mut rng);
+        prop_assert!((out.estimate - mu).abs() <= 3.0 * eps + 1e-9);
+        prop_assert!(out.batches >= 1);
+    }
+
+    #[test]
+    fn counting_estimate_bounded(
+        k in 50usize..500,
+        t_pick in 0usize..500,
+        seed in any::<u64>(),
+    ) {
+        let t = t_pick % k;
+        let data: Vec<u64> = (0..k).map(|i| (i < t) as u64).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = VecSource::new(data, 4);
+        let eps = (k as f64 / 8.0).max(1.0);
+        let out = pquery::counting::estimate_count(&mut src, &|v| v != 0, eps, &mut rng);
+        prop_assert!((out.estimate - t as f64).abs() <= 3.0 * eps + 1e-9);
+        prop_assert!(out.estimate >= 0.0);
+        prop_assert!(out.batches >= 1);
+    }
+
+    #[test]
+    fn dj_requires_promise(bits in proptest::collection::vec(any::<bool>(), 4usize..32)) {
+        let k = bits.len().next_power_of_two() / 2;
+        let x: Vec<u64> = bits.iter().take(k.max(2)).map(|&b| b as u64).collect();
+        if x.len() < 2 || !x.len().is_power_of_two() {
+            return Ok(());
+        }
+        let w: u64 = x.iter().sum();
+        let mut src = VecSource::new(x.clone(), 1);
+        let res = pquery::deutsch_jozsa::deutsch_jozsa(&mut src);
+        let on_promise = w == 0 || w == x.len() as u64 || 2 * w == x.len() as u64;
+        prop_assert_eq!(res.is_ok(), on_promise);
+    }
+}

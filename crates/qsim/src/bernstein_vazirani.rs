@@ -1,0 +1,63 @@
+//! The Bernstein–Vazirani algorithm: recover a hidden string `s ∈ {0,1}^m`
+//! from the linear oracle `f(x) = s·x mod 2` with **one** query, exactly.
+//!
+//! A companion to Deutsch–Jozsa (paper §4.3) with the same phase-kickback
+//! structure: `H^{⊗m} · O_f · H^{⊗m} |0⟩ = |s⟩` deterministically. Like
+//! the distributed DJ, the distributed version (see
+//! `dqc_core::bernstein_vazirani`) needs no value communication at all —
+//! XOR shares of `s` phase their own register copies.
+
+use crate::state::{State, EPS};
+
+/// Inner product `s·x mod 2` with `x` given as basis-state bits.
+fn dot(s: &[bool], x: usize) -> bool {
+    s.iter().enumerate().fold(false, |acc, (i, &b)| acc ^ (b && (x >> i) & 1 == 1))
+}
+
+/// Recover `s` from its phase oracle with a single query — exact.
+///
+/// # Panics
+///
+/// Panics if `s` is empty or longer than 22 bits (statevector guard).
+pub fn bernstein_vazirani(s: &[bool]) -> Vec<bool> {
+    let m = s.len();
+    assert!((1..=22).contains(&m), "hidden string must have 1..=22 bits");
+    let mut st = State::zero(m);
+    st.h_all(0..m);
+    // The single query: |x⟩ → (−1)^{s·x}|x⟩.
+    st.apply_phase_fn(|x| if dot(s, x) { std::f64::consts::PI } else { 0.0 });
+    st.h_all(0..m);
+    // The state is exactly |s⟩.
+    let s_idx: usize = s.iter().enumerate().map(|(i, &b)| (b as usize) << i).sum();
+    debug_assert!(st.probability(s_idx) > 1.0 - EPS, "BV must be deterministic");
+    (0..m).map(|i| st.probability_where(|x| (x >> i) & 1 == 1) > 0.5).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_all_strings_up_to_five_bits() {
+        for m in 1..=5usize {
+            for bits in 0..(1u32 << m) {
+                let s: Vec<bool> = (0..m).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(bernstein_vazirani(&s), s, "m={m} bits={bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_long_string() {
+        let s: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        assert_eq!(bernstein_vazirani(&s), s);
+    }
+
+    #[test]
+    fn dot_product_helper() {
+        assert!(!dot(&[true, false], 0b10));
+        assert!(dot(&[true, false], 0b01));
+        assert!(dot(&[true, true], 0b01));
+        assert!(!dot(&[true, true], 0b11));
+    }
+}

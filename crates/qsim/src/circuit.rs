@@ -1,0 +1,332 @@
+//! Gate-tape circuits: a reified sequence of elementary gates that can be
+//! applied, inverted, and *controlled* — the transformation needed to run
+//! phase estimation on a subroutine (paper §6: QPE applies controlled
+//! powers of a whole algorithm, not of a single gate).
+
+use crate::complex::C64;
+use crate::state::State;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// An elementary gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Hadamard.
+    H(usize),
+    /// Pauli X.
+    X(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// `diag(1, e^{iθ})`.
+    Phase(usize, f64),
+    /// Controlled NOT.
+    Cnot(usize, usize),
+    /// Controlled phase.
+    CPhase(usize, usize, f64),
+    /// Multi-controlled X.
+    Mcx(Vec<usize>, usize),
+    /// Multi-controlled Z.
+    Mcz(Vec<usize>, usize),
+    /// A global phase `e^{iθ}` (matters once the circuit is controlled!).
+    GlobalPhase(f64),
+}
+
+impl Op {
+    /// The qubits this op touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Op::H(q) | Op::X(q) | Op::Z(q) | Op::Phase(q, _) => vec![*q],
+            Op::Cnot(c, t) | Op::CPhase(c, t, _) => vec![*c, *t],
+            Op::Mcx(cs, t) | Op::Mcz(cs, t) => {
+                let mut v = cs.clone();
+                v.push(*t);
+                v
+            }
+            Op::GlobalPhase(_) => vec![],
+        }
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Op {
+        match self {
+            Op::Phase(q, th) => Op::Phase(*q, -th),
+            Op::CPhase(c, t, th) => Op::CPhase(*c, *t, -th),
+            Op::GlobalPhase(th) => Op::GlobalPhase(-th),
+            other => other.clone(), // H, X, Z, CNOT, MCX, MCZ are involutions
+        }
+    }
+}
+
+/// A circuit on `n` qubits: an ordered gate tape.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::circuit::Circuit;
+/// use qsim::state::State;
+///
+/// // A Bell-pair preparation as a reusable tape.
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let mut s = State::zero(2);
+/// c.apply(&mut s);
+/// assert!((s.probability(0b11) - 0.5).abs() < 1e-9);
+/// c.inverse().apply(&mut s);
+/// assert!((s.probability(0) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    n: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Circuit { n, ops: Vec::new() }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The gate tape.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Gate count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Push a raw op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op touches a qubit `>= n`.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        assert!(op.qubits().iter().all(|&q| q < self.n), "op out of range");
+        self.ops.push(op);
+        self
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Op::H(q))
+    }
+
+    /// X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Op::X(q))
+    }
+
+    /// Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Z(q))
+    }
+
+    /// Phase `θ` on `q`.
+    pub fn phase(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Op::Phase(q, theta))
+    }
+
+    /// CNOT.
+    pub fn cnot(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Op::Cnot(c, t))
+    }
+
+    /// Controlled phase.
+    pub fn cphase(&mut self, c: usize, t: usize, theta: f64) -> &mut Self {
+        self.push(Op::CPhase(c, t, theta))
+    }
+
+    /// Multi-controlled X.
+    pub fn mcx(&mut self, controls: Vec<usize>, t: usize) -> &mut Self {
+        self.push(Op::Mcx(controls, t))
+    }
+
+    /// Multi-controlled Z.
+    pub fn mcz(&mut self, controls: Vec<usize>, t: usize) -> &mut Self {
+        self.push(Op::Mcz(controls, t))
+    }
+
+    /// Global phase `e^{iθ}`.
+    pub fn global_phase(&mut self, theta: f64) -> &mut Self {
+        self.push(Op::GlobalPhase(theta))
+    }
+
+    /// Apply the tape to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has fewer qubits than the circuit.
+    pub fn apply(&self, state: &mut State) {
+        assert!(state.num_qubits() >= self.n, "state too small for circuit");
+        let h = [[C64 { re: FRAC_1_SQRT_2, im: 0.0 }, C64 { re: FRAC_1_SQRT_2, im: 0.0 }], [
+            C64 { re: FRAC_1_SQRT_2, im: 0.0 },
+            C64 { re: -FRAC_1_SQRT_2, im: 0.0 },
+        ]];
+        for op in &self.ops {
+            match op {
+                Op::H(q) => state.apply_1q(*q, h),
+                Op::X(q) => state.x(*q),
+                Op::Z(q) => state.z(*q),
+                Op::Phase(q, th) => state.phase(*q, *th),
+                Op::Cnot(c, t) => state.cnot(*c, *t),
+                Op::CPhase(c, t, th) => state.cphase(*c, *t, *th),
+                Op::Mcx(cs, t) => state.mcx(cs, *t),
+                Op::Mcz(cs, t) => state.mcz(cs, *t),
+                Op::GlobalPhase(th) => state.apply_phase_fn(|_| *th),
+            }
+        }
+    }
+
+    /// The inverse circuit (reversed tape of inverted gates).
+    pub fn inverse(&self) -> Circuit {
+        Circuit { n: self.n, ops: self.ops.iter().rev().map(Op::inverse).collect() }
+    }
+
+    /// The circuit controlled on qubit `control` (which must be outside
+    /// the circuit's qubit range after `shift` is applied): every gate
+    /// gains the control, and global phases become control phases.
+    ///
+    /// `shift` relocates the circuit's qubits (qubit `q` → `q + shift`) so
+    /// the control can live below them — the layout used by QPE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control` collides with the shifted circuit qubits.
+    pub fn controlled(&self, control: usize, shift: usize) -> Circuit {
+        let mut out = Circuit::new((self.n + shift).max(control + 1));
+        for op in &self.ops {
+            let c = control;
+            let mv = |q: usize| q + shift;
+            assert!(
+                !op.qubits().iter().any(|&q| mv(q) == c),
+                "control collides with circuit qubit"
+            );
+            let controlled = match op {
+                Op::H(_) => unimplemented!("controlled-H not needed; decompose first"),
+                Op::X(q) => Op::Cnot(c, mv(*q)),
+                Op::Z(q) => Op::Mcz(vec![c], mv(*q)),
+                Op::Phase(q, th) => Op::CPhase(c, mv(*q), *th),
+                Op::Cnot(cc, t) => Op::Mcx(vec![c, mv(*cc)], mv(*t)),
+                Op::CPhase(cc, t, th) => {
+                    // Standard CC-Phase(θ) identity:
+                    // CP(b,t,θ/2) · CX(c,b) · CP(b,t,−θ/2) · CX(c,b) ·
+                    // CP(c,t,θ/2), phasing exactly when c = b = t = 1.
+                    let (b, t) = (mv(*cc), mv(*t));
+                    out.push(Op::CPhase(b, t, th / 2.0));
+                    out.push(Op::Cnot(c, b));
+                    out.push(Op::CPhase(b, t, -th / 2.0));
+                    out.push(Op::Cnot(c, b));
+                    out.push(Op::CPhase(c, t, th / 2.0));
+                    continue;
+                }
+                Op::Mcx(cs, t) => {
+                    let mut cs2: Vec<usize> = cs.iter().map(|&q| mv(q)).collect();
+                    cs2.push(c);
+                    Op::Mcx(cs2, mv(*t))
+                }
+                Op::Mcz(cs, t) => {
+                    let mut cs2: Vec<usize> = cs.iter().map(|&q| mv(q)).collect();
+                    cs2.push(c);
+                    Op::Mcz(cs2, mv(*t))
+                }
+                Op::GlobalPhase(th) => Op::Phase(c, *th),
+            };
+            out.push(controlled);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::EPS;
+
+    #[test]
+    fn builder_and_apply() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        assert_eq!(c.len(), 3);
+        let mut s = State::zero(3);
+        c.apply(&mut s);
+        assert!((s.probability(0b000) - 0.5).abs() < EPS);
+        assert!((s.probability(0b111) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn inverse_undoes_any_tape() {
+        let mut c = Circuit::new(3);
+        c.h(0).phase(0, 0.7).cnot(0, 1).cphase(1, 2, 1.1).mcz(vec![0, 1], 2).x(2).global_phase(0.3);
+        let mut s = State::basis(3, 5);
+        c.apply(&mut s);
+        c.inverse().apply(&mut s);
+        assert!((s.probability(5) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn controlled_acts_only_when_control_set() {
+        // Circuit: X then phase on one qubit; control lives at index 0,
+        // data shifted to index 1.
+        let mut c = Circuit::new(1);
+        c.x(0).phase(0, 0.9).global_phase(0.4);
+        let ctl = c.controlled(0, 1);
+
+        // Control clear: identity.
+        let mut s = State::zero(2);
+        let orig = s.clone();
+        ctl.apply(&mut s);
+        assert!(s.fidelity(&orig) > 1.0 - EPS);
+
+        // Control set: matches the plain circuit on the data qubit,
+        // including the global phase (as a relative phase on the control).
+        let mut s = State::zero(2);
+        s.x(0); // control = 1
+        ctl.apply(&mut s);
+        // Data qubit should be |1⟩ with phase e^{i(0.9+0.4)}.
+        let amp = s.amplitude(0b11);
+        let want = C64::from_polar(1.0, 0.9 + 0.4);
+        assert!((amp.re - want.re).abs() < EPS && (amp.im - want.im).abs() < EPS, "{amp}");
+    }
+
+    #[test]
+    fn controlled_cphase_decomposition_correct() {
+        // Compare controlled(CPhase) against direct 3-qubit construction.
+        let mut c = Circuit::new(2);
+        c.cphase(0, 1, 1.3);
+        let ctl = c.controlled(0, 1); // control 0, data 1..3
+
+        for basis in 0..8 {
+            let mut s = State::basis(3, basis);
+            ctl.apply(&mut s);
+            // Expected: phase 1.3 iff all of control, cc, t are 1.
+            let want_phase = basis == 0b111;
+            let mut expect = State::basis(3, basis);
+            if want_phase {
+                expect.apply_phase_fn(|x| if x == basis { 1.3 } else { 0.0 });
+            }
+            assert!(s.fidelity(&expect) > 1.0 - EPS, "basis {basis:03b}");
+        }
+    }
+
+    #[test]
+    fn op_qubits_reported() {
+        assert_eq!(Op::Mcx(vec![0, 2], 4).qubits(), vec![0, 2, 4]);
+        assert_eq!(Op::GlobalPhase(0.1).qubits(), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Circuit::new(2).h(2);
+    }
+}

@@ -1,0 +1,126 @@
+//! The Deutsch–Jozsa algorithm — the exact (zero-error) quantum query
+//! algorithm behind the paper's §4.3.
+//!
+//! Given `x ∈ {0,1}^k` (`k = 2^q`) promised to be constant or balanced, a
+//! single phase query decides which with probability 1: after
+//! `H^{⊗q} · O_x · H^{⊗q}` the amplitude of `|0⟩` is `±1` iff `x` is
+//! constant and `0` iff balanced.
+
+use crate::oracle::phase_oracle;
+use crate::state::{State, EPS};
+
+/// The two promise classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DjAnswer {
+    /// `x = 0^k` or `x = 1^k`.
+    Constant,
+    /// `|x| = k/2`.
+    Balanced,
+}
+
+/// Error returned when the input violates the Deutsch–Jozsa promise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromiseViolation {
+    /// Hamming weight found.
+    pub weight: usize,
+    /// Input length.
+    pub k: usize,
+}
+
+impl std::fmt::Display for PromiseViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "input of length {} with weight {} is neither constant nor balanced", self.k, self.weight)
+    }
+}
+
+impl std::error::Error for PromiseViolation {}
+
+/// Check the promise.
+///
+/// # Errors
+///
+/// Returns [`PromiseViolation`] if `x` is neither constant nor balanced, or
+/// its length is not a positive even power of two.
+pub fn check_promise(x: &[bool]) -> Result<DjAnswer, PromiseViolation> {
+    let k = x.len();
+    let w = x.iter().filter(|&&b| b).count();
+    if !k.is_power_of_two() || k < 2 {
+        return Err(PromiseViolation { weight: w, k });
+    }
+    if w == 0 || w == k {
+        Ok(DjAnswer::Constant)
+    } else if 2 * w == k {
+        Ok(DjAnswer::Balanced)
+    } else {
+        Err(PromiseViolation { weight: w, k })
+    }
+}
+
+/// Run Deutsch–Jozsa on the statevector. Exactly one oracle query; the
+/// answer is certain (zero error).
+///
+/// # Errors
+///
+/// Returns [`PromiseViolation`] if the promise does not hold — the
+/// algorithm's output is undefined in that case, so we refuse the input.
+///
+/// # Panics
+///
+/// Panics if `k > 2^22` (statevector memory guard).
+pub fn deutsch_jozsa(x: &[bool]) -> Result<DjAnswer, PromiseViolation> {
+    check_promise(x)?;
+    let k = x.len();
+    let q = k.trailing_zeros() as usize;
+    let mut s = State::zero(q.max(1));
+    s.h_all(0..q);
+    phase_oracle(&mut s, q, k, |i| x[i]);
+    s.h_all(0..q);
+    // Probability of |0…0⟩ is 1 for constant, 0 for balanced — exactly.
+    let p0 = s.probability(0);
+    debug_assert!(!(EPS..=1.0 - EPS).contains(&p0), "promise guarantees a deterministic outcome");
+    Ok(if p0 > 0.5 { DjAnswer::Constant } else { DjAnswer::Balanced })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_inputs() {
+        assert_eq!(deutsch_jozsa(&[false; 8]).unwrap(), DjAnswer::Constant);
+        assert_eq!(deutsch_jozsa(&[true; 16]).unwrap(), DjAnswer::Constant);
+    }
+
+    #[test]
+    fn balanced_inputs() {
+        let mut x = vec![false; 8];
+        for i in 0..4 {
+            x[i * 2] = true;
+        }
+        assert_eq!(deutsch_jozsa(&x).unwrap(), DjAnswer::Balanced);
+        let x: Vec<bool> = (0..32).map(|i| i < 16).collect();
+        assert_eq!(deutsch_jozsa(&x).unwrap(), DjAnswer::Balanced);
+    }
+
+    #[test]
+    fn all_balanced_weight_patterns() {
+        // Every balanced pattern on k = 4 must be classified correctly.
+        let k = 4;
+        for bits in 0..(1u32 << k) {
+            let x: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+            let w = x.iter().filter(|&&b| b).count();
+            match w {
+                0 | 4 => assert_eq!(deutsch_jozsa(&x).unwrap(), DjAnswer::Constant),
+                2 => assert_eq!(deutsch_jozsa(&x).unwrap(), DjAnswer::Balanced),
+                _ => assert!(deutsch_jozsa(&x).is_err()),
+            }
+        }
+    }
+
+    #[test]
+    fn promise_violations_rejected() {
+        assert!(deutsch_jozsa(&[true, false, false, false]).is_err());
+        assert!(deutsch_jozsa(&[true, false, true]).is_err()); // length 3
+        assert!(check_promise(&[]).is_err());
+    }
+}

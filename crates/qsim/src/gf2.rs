@@ -1,0 +1,162 @@
+//! Linear algebra over GF(2) on ≤ 64-bit row vectors — the classical
+//! post-processing of Simon's algorithm.
+
+/// A matrix over GF(2), rows stored as bit masks of width `m ≤ 64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gf2Matrix {
+    m: usize,
+    rows: Vec<u64>,
+}
+
+impl Gf2Matrix {
+    /// An empty matrix with `m` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m > 64`.
+    pub fn new(m: usize) -> Self {
+        assert!((1..=64).contains(&m));
+        Gf2Matrix { m, rows: Vec::new() }
+    }
+
+    /// Column count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add a row (a width-`m` bit vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has bits outside the width.
+    pub fn push(&mut self, row: u64) {
+        assert!(self.m == 64 || row < (1u64 << self.m), "row wider than m");
+        self.rows.push(row);
+    }
+
+    /// The rank of the matrix (Gaussian elimination).
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let mut rank = 0;
+        for col in (0..self.m).rev() {
+            let bit = 1u64 << col;
+            if let Some(pos) = (rank..rows.len()).find(|&i| rows[i] & bit != 0) {
+                rows.swap(rank, pos);
+                let pivot = rows[rank];
+                for (i, r) in rows.iter_mut().enumerate() {
+                    if i != rank && *r & bit != 0 {
+                        *r ^= pivot;
+                    }
+                }
+                rank += 1;
+            }
+        }
+        rank
+    }
+
+    /// A nonzero vector `s` with `row·s = 0 (mod 2)` for every row, if the
+    /// null space is nontrivial. With rank `m − 1` the answer is unique.
+    pub fn null_vector(&self) -> Option<u64> {
+        // Reduced row echelon form, tracking pivot columns.
+        let mut rows = self.rows.clone();
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut rank = 0;
+        for col in (0..self.m).rev() {
+            let bit = 1u64 << col;
+            if let Some(pos) = (rank..rows.len()).find(|&i| rows[i] & bit != 0) {
+                rows.swap(rank, pos);
+                let pivot = rows[rank];
+                for (i, r) in rows.iter_mut().enumerate() {
+                    if i != rank && *r & bit != 0 {
+                        *r ^= pivot;
+                    }
+                }
+                pivots.push(col);
+                rank += 1;
+            }
+        }
+        if rank == self.m {
+            return None; // full rank: only the zero vector
+        }
+        // Pick the highest free column, set it to 1, back-substitute.
+        let free = (0..self.m).rev().find(|c| !pivots.contains(c))?;
+        let mut s = 1u64 << free;
+        for (r, &pc) in rows.iter().zip(&pivots) {
+            // Row: x_pc = Σ_{free cols in row} x_c.
+            if (r & s).count_ones() % 2 == 1 {
+                s |= 1u64 << pc;
+            }
+        }
+        debug_assert!(self.rows.iter().all(|r| (r & s).count_ones().is_multiple_of(2)));
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_identity() {
+        let mut a = Gf2Matrix::new(4);
+        for i in 0..4 {
+            a.push(1 << i);
+        }
+        assert_eq!(a.rank(), 4);
+        assert_eq!(a.null_vector(), None);
+    }
+
+    #[test]
+    fn rank_with_dependencies() {
+        let mut a = Gf2Matrix::new(4);
+        a.push(0b1100);
+        a.push(0b0110);
+        a.push(0b1010); // = row0 ^ row1
+        assert_eq!(a.rank(), 2);
+    }
+
+    #[test]
+    fn null_vector_orthogonal_to_all_rows() {
+        let mut a = Gf2Matrix::new(5);
+        a.push(0b11000);
+        a.push(0b00110);
+        a.push(0b10101);
+        let s = a.null_vector().unwrap();
+        assert_ne!(s, 0);
+        for &r in &[0b11000u64, 0b00110, 0b10101] {
+            assert_eq!((r & s).count_ones() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn unique_null_vector_recovered() {
+        // All vectors orthogonal to s = 0b1011 span a rank-3 space.
+        let s = 0b1011u64;
+        let mut a = Gf2Matrix::new(4);
+        for y in 0..16u64 {
+            if (y & s).count_ones().is_multiple_of(2) {
+                a.push(y);
+            }
+        }
+        assert_eq!(a.rank(), 3);
+        assert_eq!(a.null_vector(), Some(s));
+    }
+
+    #[test]
+    fn empty_matrix_has_any_nonzero_null_vector() {
+        let a = Gf2Matrix::new(3);
+        let s = a.null_vector().unwrap();
+        assert_ne!(s, 0);
+        assert!(s < 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! Standard input oracles built from classical data.
+//!
+//! A query problem's input `x ∈ A^k` becomes a unitary in one of two
+//! interchangeable forms:
+//!
+//! * **phase oracle** — `|i⟩ → (−1)^{f(i)}|i⟩` for boolean `f`, or
+//!   `|i⟩ → e^{iφ(i)}|i⟩` in general;
+//! * **XOR oracle** — `|i⟩|y⟩ → |i⟩|y ⊕ xᵢ⟩`, a basis permutation.
+//!
+//! Search spaces are padded to a power of two; padding indices are never
+//! marked and carry value 0.
+
+use crate::state::State;
+
+/// Apply the phase oracle of the boolean function `marked` to the `q`
+/// low-order qubits of `state`: basis states `|i⟩` with `i < k` and
+/// `marked(i)` get a `−1` phase. Higher (ancilla/padding) bits are ignored
+/// for the predicate but preserved.
+///
+/// # Panics
+///
+/// Panics if `q` exceeds the state's qubit count.
+pub fn phase_oracle<F: Fn(usize) -> bool>(state: &mut State, q: usize, k: usize, marked: F) {
+    assert!(q <= state.num_qubits());
+    let mask = (1usize << q) - 1;
+    state.apply_phase_fn(|x| {
+        let i = x & mask;
+        if i < k && marked(i) {
+            std::f64::consts::PI
+        } else {
+            0.0
+        }
+    });
+}
+
+/// Apply the XOR oracle of the data table `values`: with the index register
+/// on qubits `0..q` and the target register on qubits `q..q+t`,
+/// `|i⟩|y⟩ → |i⟩|y ⊕ valuesᵢ⟩` (indices `i ≥ values.len()` act as identity).
+///
+/// # Panics
+///
+/// Panics if registers exceed the state, or a value needs more than `t`
+/// bits.
+pub fn xor_oracle(state: &mut State, q: usize, t: usize, values: &[u64]) {
+    assert!(q + t <= state.num_qubits(), "registers exceed the state");
+    for &v in values {
+        assert!(t == 64 || v < (1u64 << t), "value does not fit the target register");
+    }
+    let imask = (1usize << q) - 1;
+    state.apply_permutation(|x| {
+        let i = x & imask;
+        if i < values.len() {
+            let v = values[i] as usize;
+            x ^ (v << q)
+        } else {
+            x
+        }
+    });
+}
+
+/// Number of index qubits needed for a search space of `k` items:
+/// `⌈log₂ k⌉`, at least 1.
+pub fn index_qubits(k: usize) -> usize {
+    assert!(k >= 1);
+    ((usize::BITS - (k - 1).leading_zeros()) as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::EPS;
+
+    #[test]
+    fn index_qubit_counts() {
+        assert_eq!(index_qubits(1), 1);
+        assert_eq!(index_qubits(2), 1);
+        assert_eq!(index_qubits(3), 2);
+        assert_eq!(index_qubits(4), 2);
+        assert_eq!(index_qubits(5), 3);
+        assert_eq!(index_qubits(1024), 10);
+    }
+
+    #[test]
+    fn phase_oracle_flips_marked_only() {
+        let mut s = State::zero(3);
+        s.h_all(0..3);
+        phase_oracle(&mut s, 3, 8, |i| i == 5);
+        for i in 0..8 {
+            let a = s.amplitude(i);
+            let want = if i == 5 { -1.0 } else { 1.0 } / 8f64.sqrt();
+            assert!((a.re - want).abs() < EPS, "amp {i}");
+        }
+    }
+
+    #[test]
+    fn phase_oracle_ignores_padding() {
+        // k = 3 in a 2-qubit register: index 3 is padding, never marked.
+        let mut s = State::zero(2);
+        s.h_all(0..2);
+        phase_oracle(&mut s, 2, 3, |_| true);
+        assert!(s.amplitude(3).re > 0.0, "padding amplitude unflipped");
+        assert!(s.amplitude(0).re < 0.0);
+    }
+
+    #[test]
+    fn xor_oracle_writes_value() {
+        let values = [0b00u64, 0b11, 0b10, 0b01];
+        let mut s = State::basis(4, 0b10); // i = 2, y = 0
+        xor_oracle(&mut s, 2, 2, &values);
+        // y becomes 0b10 -> basis index 0b10_10
+        assert!((s.probability(0b1010) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn xor_oracle_is_involutive() {
+        let values = [3u64, 1, 2, 0];
+        let mut s = State::zero(4);
+        s.h_all(0..2);
+        let orig = s.clone();
+        xor_oracle(&mut s, 2, 2, &values);
+        xor_oracle(&mut s, 2, 2, &values);
+        assert!(s.fidelity(&orig) > 1.0 - EPS);
+    }
+}

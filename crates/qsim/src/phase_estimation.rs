@@ -1,0 +1,159 @@
+//! Quantum phase estimation — the circuit behind the paper's Lemma 29.
+//!
+//! Given a unitary `U` with eigenstate `|ψ⟩`, `U|ψ⟩ = e^{2πiφ}|ψ⟩`, QPE with
+//! `t` counting qubits returns an estimate `m/2^t` with
+//! `|m/2^t − φ| ≤ 2^{−t}` (mod 1) with probability at least `8/π² ≈ 0.81`.
+
+use crate::qft::iqft;
+use crate::state::State;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// A controlled unitary that QPE can raise to powers: implementors apply
+/// `controlled-U^{2^j}` with the given control qubit.
+///
+/// The closure form lets callers supply anything from a bare controlled
+/// phase to a full controlled Grover iterate (see `amplitude`).
+pub trait ControlledUnitary {
+    /// Apply `U^{2^j}` to `state`, controlled on qubit `control`.
+    fn apply_power(&self, state: &mut State, control: usize, j: u32);
+}
+
+impl<F: Fn(&mut State, usize, u32)> ControlledUnitary for F {
+    fn apply_power(&self, state: &mut State, control: usize, j: u32) {
+        self(state, control, j)
+    }
+}
+
+/// Run QPE with `t` counting qubits (qubits `0..t` of `state`). The target
+/// register (qubits `t..`) must already hold an eigenstate of `U`. Returns
+/// the measured `m`; the phase estimate is `m / 2^t`.
+///
+/// The counting register is consumed (measured).
+pub fn phase_estimation<U: ControlledUnitary, R: Rng>(
+    state: &mut State,
+    t: usize,
+    u: &U,
+    rng: &mut R,
+) -> usize {
+    assert!(t >= 1 && t < state.num_qubits(), "need 1..n counting qubits");
+    for q in 0..t {
+        state.h(q);
+    }
+    for (j, q) in (0..t).enumerate() {
+        u.apply_power(state, q, j as u32);
+    }
+    iqft(state, &(0..t).collect::<Vec<_>>());
+    // Measure the counting register only.
+    let full = state.sample(rng);
+    let m = full & ((1usize << t) - 1);
+    state.collapse(|x| x & ((1usize << t) - 1) == m);
+    m
+}
+
+/// Convenience: estimate the eigenphase `φ` of the diagonal unitary
+/// `diag(1, e^{2πiφ})` on eigenstate `|1⟩` with `t` counting qubits.
+/// Returns the estimate in `[0, 1)`.
+pub fn estimate_diagonal_phase<R: Rng>(phi: f64, t: usize, rng: &mut R) -> f64 {
+    let mut s = State::basis(t + 1, 1 << t); // target qubit (index t) = |1⟩
+    let u = |state: &mut State, control: usize, j: u32| {
+        // U^{2^j} = diag(1, e^{2πiφ·2^j}) on the target; controlled version
+        // is a two-qubit controlled phase.
+        let theta = 2.0 * PI * phi * (1u64 << j) as f64;
+        state.apply_controlled_1q(
+            &[control],
+            t,
+            [
+                [crate::complex::C64::ONE, crate::complex::C64::ZERO],
+                [crate::complex::C64::ZERO, crate::complex::C64::from_polar(1.0, theta)],
+            ],
+        );
+    };
+    let m = phase_estimation(&mut s, t, &u, rng);
+    m as f64 / (1usize << t) as f64
+}
+
+/// Circular distance on the unit interval (phases wrap).
+pub fn phase_distance(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(1.0);
+    d.min(1.0 - d)
+}
+
+/// Median-of-repetitions boosting: repeat the estimate `reps` times and take
+/// the circular median, pushing the failure probability below `2^{−Ω(reps)}`
+/// — the `log(1/δ)` factor in Lemma 29.
+pub fn estimate_diagonal_phase_boosted<R: Rng>(phi: f64, t: usize, reps: usize, rng: &mut R) -> f64 {
+    assert!(reps >= 1);
+    let mut estimates: Vec<f64> = (0..reps).map(|_| estimate_diagonal_phase(phi, t, rng)).collect();
+    // Circular median: pick the estimate minimizing the sum of circular
+    // distances to the others.
+    estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    estimates
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let da: f64 = estimates.iter().map(|&e| phase_distance(a, e)).sum();
+            let db: f64 = estimates.iter().map(|&e| phase_distance(b, e)).sum();
+            da.partial_cmp(&db).unwrap()
+        })
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_phase_recovered_exactly() {
+        // φ = m/2^t is representable: QPE returns it with certainty.
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in 3..=6 {
+            let m = 5 % (1usize << t);
+            let phi = m as f64 / (1usize << t) as f64;
+            for _ in 0..5 {
+                let est = estimate_diagonal_phase(phi, t, &mut rng);
+                assert!((est - phi).abs() < 1e-12, "t={t}: {est} vs {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn irrational_phase_within_precision() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let phi = 0.3717;
+        let t = 7;
+        let mut ok = 0;
+        for _ in 0..30 {
+            let est = estimate_diagonal_phase(phi, t, &mut rng);
+            if phase_distance(est, phi) <= 1.0 / (1 << t) as f64 {
+                ok += 1;
+            }
+        }
+        // Theory: ≥ 8/π² ≈ 0.81 per trial.
+        assert!(ok >= 20, "only {ok}/30 within 2^-t");
+    }
+
+    #[test]
+    fn boosting_tightens_failure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let phi = 0.123;
+        let t = 6;
+        let mut ok = 0;
+        for _ in 0..20 {
+            let est = estimate_diagonal_phase_boosted(phi, t, 9, &mut rng);
+            if phase_distance(est, phi) <= 2.0 / (1 << t) as f64 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 19, "boosted estimate failed {}/20 times", 20 - ok);
+    }
+
+    #[test]
+    fn phase_distance_wraps() {
+        assert!((phase_distance(0.95, 0.05) - 0.1).abs() < 1e-12);
+        assert!((phase_distance(0.2, 0.7) - 0.5).abs() < 1e-12);
+        assert_eq!(phase_distance(0.3, 0.3), 0.0);
+    }
+}

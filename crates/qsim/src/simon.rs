@@ -1,0 +1,165 @@
+//! Simon's algorithm: given `f : {0,1}^m → {0,1}^m` with the promise
+//! `f(x) = f(y) ⇔ y ∈ {x, x⊕s}` for a hidden `s ≠ 0`, find `s` with
+//! `O(m)` quantum queries — classically `Ω(2^{m/2})` queries are needed.
+//!
+//! This is the bounded-error exponential separation the paper's §4.3
+//! footnote alludes to: the two-party/distributed version (see
+//! `dqc_core::simon`) inherits the query gap through the framework.
+//!
+//! Each quantum iteration prepares `H^{⊗m}|0⟩|0⟩`, queries the XOR oracle,
+//! and measures the input register after another `H^{⊗m}`: the outcome `y`
+//! is uniform over `{y : y·s = 0}`. Collecting `m − 1` independent
+//! equations pins down `s` by GF(2) elimination.
+
+use crate::gf2::Gf2Matrix;
+use crate::oracle::xor_oracle;
+use crate::state::State;
+use rand::Rng;
+
+/// Build a Simon function table for hidden shift `s` over `m` bits: each
+/// `{x, x⊕s}` pair gets a distinct value (a pseudo-random relabelling of
+/// the pair representative).
+///
+/// # Panics
+///
+/// Panics if `s == 0` or `s` does not fit in `m` bits.
+pub fn simon_table(m: usize, s: u64, seed: u64) -> Vec<u64> {
+    assert!((1..=20).contains(&m));
+    assert!(s != 0 && (m == 64 || s < (1u64 << m)), "shift must be nonzero and fit");
+    let size = 1usize << m;
+    // Assign each {x, x⊕s} pair a *distinct* value: rank the pair
+    // representatives and pass them through a seeded permutation of [2^m]
+    // (injective, so the promise's "only s-partners collide" holds).
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut perm: Vec<u64> = (0..size as u64).collect();
+    perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    let mut rank = vec![u64::MAX; size];
+    let mut next = 0u64;
+    for x in 0..size as u64 {
+        let rep = x.min(x ^ s) as usize;
+        if rank[rep] == u64::MAX {
+            rank[rep] = next;
+            next += 1;
+        }
+    }
+    (0..size).map(|x| perm[rank[(x as u64).min(x as u64 ^ s) as usize] as usize]).collect()
+}
+
+/// One Simon iteration on the statevector: returns a `y` with `y·s = 0`,
+/// uniformly distributed over that subspace.
+pub fn simon_sample<R: Rng>(table: &[u64], rng: &mut R) -> u64 {
+    let m = table.len().trailing_zeros() as usize;
+    assert_eq!(table.len(), 1 << m);
+    let mut st = State::zero(2 * m);
+    st.h_all(0..m);
+    xor_oracle(&mut st, m, m, table);
+    st.h_all(0..m);
+    let out = st.sample(rng);
+    (out & ((1 << m) - 1)) as u64
+}
+
+/// Result of a full Simon run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimonOutcome {
+    /// The recovered hidden shift, if the equations reached rank `m − 1`.
+    pub shift: Option<u64>,
+    /// Oracle queries used (one per iteration).
+    pub queries: usize,
+}
+
+/// Run Simon's algorithm to completion: sample equations until rank
+/// `m − 1` (or a cutoff of `8m` iterations), then solve.
+pub fn simon<R: Rng>(table: &[u64], rng: &mut R) -> SimonOutcome {
+    let m = table.len().trailing_zeros() as usize;
+    let mut eqs = Gf2Matrix::new(m.max(1));
+    let mut queries = 0;
+    while eqs.rank() < m.saturating_sub(1) && queries < 8 * m.max(1) {
+        let y = simon_sample(table, rng);
+        queries += 1;
+        if y != 0 {
+            eqs.push(y);
+        }
+    }
+    let shift = eqs.null_vector().filter(|&s| {
+        // Verify against the table (two classical queries).
+        let x = 0usize;
+        table[x] == table[x ^ s as usize]
+    });
+    SimonOutcome { shift, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_respects_promise() {
+        for (m, s) in [(3usize, 0b101u64), (4, 0b1100), (5, 0b1)] {
+            let t = simon_table(m, s, 7);
+            for x in 0..(1usize << m) {
+                for y in 0..(1usize << m) {
+                    let equal = t[x] == t[y];
+                    let promise = y == x || y == x ^ s as usize;
+                    assert_eq!(equal, promise, "m={m} s={s:b} x={x} y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_orthogonal_to_shift() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = 0b0110u64;
+        let t = simon_table(4, s, 3);
+        for _ in 0..40 {
+            let y = simon_sample(&t, &mut rng);
+            assert_eq!((y & s).count_ones() % 2, 0, "y = {y:04b}");
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_orthogonal_subspace() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = 0b101u64;
+        let t = simon_table(3, s, 9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..60 {
+            seen.insert(simon_sample(&t, &mut rng));
+        }
+        // The orthogonal subspace {000, 010, 101, 111} should all appear.
+        assert_eq!(seen.len(), 4, "{seen:?}");
+    }
+
+    #[test]
+    fn full_simon_recovers_shift() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (m, s) in [(3usize, 0b011u64), (4, 0b1010), (5, 0b10001), (6, 0b110110)] {
+            let t = simon_table(m, s, 11);
+            let mut hits = 0;
+            for _ in 0..5 {
+                let out = simon(&t, &mut rng);
+                if out.shift == Some(s) {
+                    hits += 1;
+                    assert!(out.queries <= 8 * m, "O(m) queries");
+                }
+            }
+            assert!(hits >= 4, "m={m}: {hits}/5");
+        }
+    }
+
+    #[test]
+    fn query_count_linear_in_m() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = vec![];
+        for m in [4usize, 6, 8] {
+            let t = simon_table(m, 1 << (m - 1), 5);
+            let q: usize = (0..5).map(|_| simon(&t, &mut rng).queries).sum();
+            total.push(q as f64 / 5.0);
+        }
+        // Doubling m should roughly double queries, not square them.
+        assert!(total[2] / total[0] < 4.0, "{total:?}");
+    }
+}

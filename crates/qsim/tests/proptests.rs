@@ -1,0 +1,188 @@
+//! Property-based tests for the statevector simulator: unitarity, algebra
+//! of gates and oracles, and algorithm laws.
+
+use proptest::prelude::*;
+use qsim::deutsch_jozsa::{check_promise, deutsch_jozsa, DjAnswer};
+use qsim::oracle::{phase_oracle, xor_oracle};
+use qsim::qft::{iqft, qft};
+use qsim::state::{State, EPS};
+
+/// A random circuit as a gate tape.
+#[derive(Debug, Clone)]
+enum Gate {
+    H(usize),
+    X(usize),
+    Z(usize),
+    Phase(usize, f64),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+}
+
+fn apply(s: &mut State, g: &Gate) {
+    match *g {
+        Gate::H(q) => s.h(q),
+        Gate::X(q) => s.x(q),
+        Gate::Z(q) => s.z(q),
+        Gate::Phase(q, th) => s.phase(q, th),
+        Gate::Cnot(c, t) => s.cnot(c, t),
+        Gate::Cz(c, t) => s.apply_controlled_1q(
+            &[c],
+            t,
+            [
+                [qsim::c64(1.0, 0.0), qsim::c64(0.0, 0.0)],
+                [qsim::c64(0.0, 0.0), qsim::c64(-1.0, 0.0)],
+            ],
+        ),
+    }
+}
+
+fn unapply(s: &mut State, g: &Gate) {
+    match *g {
+        Gate::Phase(q, th) => s.phase(q, -th),
+        ref other => apply(s, other), // H, X, Z, CNOT, CZ are involutions
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_circuits_preserve_norm(
+        n in 1usize..6,
+        gates in proptest::collection::vec(any::<u64>(), 0..1),
+    ) {
+        let _ = gates;
+        let mut s = State::zero(n);
+        // A fixed, rich circuit parametrized by n.
+        for q in 0..n {
+            s.h(q);
+            s.phase(q, 0.37 * (q as f64 + 1.0));
+        }
+        for q in 1..n {
+            s.cnot(0, q);
+        }
+        prop_assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn circuit_inverse_restores_state(n in 2usize..5, tape_seed in proptest::collection::vec(0usize..6, 1..20)) {
+        // Build a deterministic gate tape from indices, apply then invert.
+        let gates: Vec<Gate> = tape_seed
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let q = i % n;
+                let r = (i + 1) % n;
+                match k {
+                    0 => Gate::H(q),
+                    1 => Gate::X(q),
+                    2 => Gate::Z(q),
+                    3 => Gate::Phase(q, 0.1 + 0.3 * i as f64),
+                    4 if q != r => Gate::Cnot(q, r),
+                    _ if q != r => Gate::Cz(q, r),
+                    _ => Gate::H(q),
+                }
+            })
+            .collect();
+        let start = State::basis(n, 1 % (1 << n));
+        let mut s = start.clone();
+        for g in &gates {
+            apply(&mut s, g);
+        }
+        for g in gates.iter().rev() {
+            unapply(&mut s, g);
+        }
+        prop_assert!(s.fidelity(&start) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn qft_roundtrips_any_basis_state(n in 1usize..7, idx_pick in any::<usize>()) {
+        let idx = idx_pick % (1 << n);
+        let mut s = State::basis(n, idx);
+        let qubits: Vec<usize> = (0..n).collect();
+        qft(&mut s, &qubits);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < EPS);
+        iqft(&mut s, &qubits);
+        prop_assert!((s.probability(idx) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_oracle_preserves_probabilities(n in 1usize..6, mask in any::<u64>()) {
+        let mut s = State::zero(n);
+        s.h_all(0..n);
+        let before: Vec<f64> = (0..(1 << n)).map(|i| s.probability(i)).collect();
+        let k = 1usize << n;
+        phase_oracle(&mut s, n, k, |i| mask >> (i % 64) & 1 == 1);
+        let after: Vec<f64> = (0..(1 << n)).map(|i| s.probability(i)).collect();
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!((b - a).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn xor_oracle_involutive(q in 1usize..4, t in 1usize..4, vals_seed in any::<u64>()) {
+        let k = 1usize << q;
+        let lim = 1u64 << t;
+        let values: Vec<u64> = (0..k as u64).map(|i| (vals_seed.rotate_left(i as u32)) % lim).collect();
+        let mut s = State::zero(q + t);
+        s.h_all(0..q);
+        let orig = s.clone();
+        xor_oracle(&mut s, q, t, &values);
+        xor_oracle(&mut s, q, t, &values);
+        prop_assert!(s.fidelity(&orig) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn deutsch_jozsa_never_errs_on_promise(q in 1usize..8, w_kind in 0usize..3, shuffle in any::<u64>()) {
+        let k = 1usize << q;
+        let x: Vec<bool> = match w_kind {
+            0 => vec![false; k],
+            1 => vec![true; k],
+            _ => {
+                // A balanced pattern derived from the shuffle bits.
+                let mut x: Vec<bool> = (0..k).map(|i| i < k / 2).collect();
+                // Deterministic Fisher-Yates from `shuffle`.
+                let mut st = shuffle | 1;
+                for i in (1..k).rev() {
+                    st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let j = (st >> 33) as usize % (i + 1);
+                    x.swap(i, j);
+                }
+                x
+            }
+        };
+        let want = check_promise(&x).unwrap();
+        prop_assert_eq!(deutsch_jozsa(&x).unwrap(), want);
+        if w_kind >= 2 {
+            prop_assert_eq!(want, DjAnswer::Balanced);
+        }
+    }
+
+    #[test]
+    fn grover_probability_law_random_t(q in 2usize..7, t_pick in 1usize..8) {
+        let k = 1usize << q;
+        let t = t_pick.min(k / 2);
+        let marked = move |i: usize| i < t;
+        let mut s = State::zero(q);
+        s.h_all(0..q);
+        for j in 0..4 {
+            let p = s.probability_where(|i| marked(i & (k - 1)));
+            prop_assert!((p - qsim::grover::success_probability(q, t, j)).abs() < 1e-9);
+            qsim::grover::grover_iterate(&mut s, q, k, &marked);
+        }
+    }
+
+    #[test]
+    fn measurement_collapse_consistent(n in 1usize..6, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = State::zero(n);
+        s.h_all(0..n);
+        for q in 1..n {
+            s.cphase(0, q, 0.9);
+        }
+        let out = s.measure_all(&mut rng);
+        prop_assert!((s.probability(out) - 1.0).abs() < EPS);
+        prop_assert!(out < (1 << n));
+    }
+}

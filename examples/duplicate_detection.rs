@@ -1,0 +1,70 @@
+//! Distributed duplicate detection (§4.2): the nodes of a network jointly
+//! hold a list of records and must find two equal ones — element
+//! distinctness, in `Õ(k^{2/3}D^{1/3} + D)` quantum rounds (Lemma 12).
+//!
+//! Two deployments:
+//! * sharded ledger — every node holds additive shares of a `k`-entry
+//!   vector (the "distributed vector" variant);
+//! * per-node serials — every node holds one value, e.g. checking that
+//!   DHCP leases are unique (the "between nodes" variant, Corollary 14).
+//!
+//! ```text
+//! cargo run --release -p dqc-core --example duplicate_detection
+//! ```
+
+use congest::generators::{double_star, random_connected_m};
+use congest::runtime::Network;
+use dqc_core::distinctness::{
+    classical_distinctness, quantum_distinctness, quantum_distinctness_between_nodes,
+    DistinctnessInstance,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Sharded ledger over a mesh. ---
+    let n = 24;
+    let g = random_connected_m(n, 36, 9);
+    let net = Network::new(&g);
+    let k = 2048;
+    println!("sharded ledger: n = {n}, k = {k} entries, one planted duplicate\n");
+    let inst = DistinctnessInstance::random(n, k, Some((137, 1650)), 77);
+
+    let q = quantum_distinctness(&net, &inst, 5)?;
+    match q.pair {
+        Some((i, j)) => println!(
+            "quantum walk (Lemma 12): duplicate at entries {i} and {j} \
+             [{} rounds, {} batches]",
+            q.rounds, q.batches
+        ),
+        None => println!(
+            "quantum walk (Lemma 12): no duplicate found (error prob ≤ 1/3) \
+             [{} rounds]",
+            q.rounds
+        ),
+    }
+    let c = classical_distinctness(&net, &inst, 5)?;
+    println!(
+        "classical streaming     : duplicate {:?} [{} rounds — linear in k]",
+        c.pair, c.rounds
+    );
+
+    // --- Per-node serial numbers on the Lemma 15 worst-case topology. ---
+    let g = double_star(16, 16);
+    let net = Network::new(&g);
+    let mut serials: Vec<u64> = (0..g.n() as u64).map(|v| 0xbeef + 3 * v).collect();
+    serials[25] = serials[4]; // a cloned serial number
+    println!("\nper-node serials: double-star of {} devices, one clone", g.n());
+    let q = quantum_distinctness_between_nodes(&net, &serials, 5)?;
+    match q.pair {
+        Some((i, j)) => println!(
+            "between-nodes (Cor. 14): devices {i} and {j} share serial {:#x} \
+             [{} rounds]",
+            serials[i], q.rounds
+        ),
+        None => println!("between-nodes (Cor. 14): all serials distinct [{} rounds]", q.rounds),
+    }
+    println!(
+        "\nClassically this needs Ω(n/log n) rounds on this topology \
+         (Lemma 15); the quantum walk does it in Õ(n^(2/3) D^(1/3))."
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The paper's motivating distributed-data application (§4.1): a network
+//! of participants picks the meeting slot maximizing attendance.
+//!
+//! Each processor knows only its own calendar; the quantum protocol
+//! (Lemma 10) finds the best of `k` slots in `Õ(√(kD) + D)` rounds, while
+//! any classical protocol needs `Ω(k/log n)` (Lemma 11).
+//!
+//! ```text
+//! cargo run --release -p dqc-core --example meeting_scheduler
+//! ```
+
+use congest::generators::dumbbell;
+use congest::runtime::Network;
+use dqc_core::scheduling::{
+    classical_lower_bound, classical_meeting_scheduling, quantum_meeting_scheduling,
+    quantum_upper_bound, MeetingInstance,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two office sites connected by a thin long link — the topology of the
+    // paper's lower-bound argument, and the worst case for streaming.
+    let (g, (hub_a, hub_b)) = dumbbell(8, 8, 14);
+    let net = Network::new(&g);
+    let n = g.n();
+    let d = g.diameter().expect("connected") as usize;
+    println!("two-site organization: n = {n}, hubs {hub_a} and {hub_b}, D = {d}\n");
+
+    println!(
+        "{:>6}  {:>9}  {:>10}  {:>12}  {:>12}  {:>7}",
+        "slots", "quantum", "classical", "Õ(√(kD)+D)", "class. LB", "correct"
+    );
+    for k in [128usize, 512, 2048, 8192] {
+        // One year of 15-minute slots is ~35k; sweep toward that regime.
+        let inst = MeetingInstance::random(n, k, 0.35, k as u64);
+        let best = inst.best_attendance();
+        let q = quantum_meeting_scheduling(&net, &inst, 3)?;
+        let c = classical_meeting_scheduling(&net, &inst, 3)?;
+        println!(
+            "{:>6}  {:>9}  {:>10}  {:>12.0}  {:>12.0}  {:>7}",
+            k,
+            q.rounds,
+            c.rounds,
+            quantum_upper_bound(k, d, n),
+            classical_lower_bound(k, d, n),
+            q.attendance == best,
+        );
+    }
+
+    println!(
+        "\nQuantum rounds grow like √k — with enough slots the network \
+         schedules the meeting before a classical protocol could even \
+         stream the calendars."
+    );
+    Ok(())
+}

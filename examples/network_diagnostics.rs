@@ -1,0 +1,64 @@
+//! Graph-theoretic self-diagnostics (§5): the network measures its own
+//! diameter, radius, average eccentricity and girth, using the paper's
+//! quantum algorithms — the input *is* the topology.
+//!
+//! ```text
+//! cargo run --release -p dqc-core --example network_diagnostics
+//! ```
+
+use congest::generators::{cycle_with_body, grid};
+use congest::runtime::Network;
+use dqc_core::eccentricity::{
+    quantum_average_eccentricity, quantum_diameter, quantum_radius,
+};
+use dqc_core::girth::{classical_girth, quantum_girth};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A data-center pod: a grid fabric.
+    let g = grid(12, 9);
+    let net = Network::new(&g);
+    println!("== grid fabric {}×{} (n = {}) ==", 12, 9, g.n());
+
+    let d = quantum_diameter(&net, 1)?;
+    println!(
+        "diameter (Lemma 21)        : {:>4}   [{} rounds, truth {}]",
+        d.value,
+        d.rounds,
+        g.diameter().unwrap()
+    );
+    let r = quantum_radius(&net, 1)?;
+    println!(
+        "radius (Lemma 21)          : {:>4}   [{} rounds, truth {}]",
+        r.value,
+        r.rounds,
+        g.radius().unwrap()
+    );
+    let eps = 1.0;
+    let a = quantum_average_eccentricity(&net, eps, 1)?;
+    println!(
+        "avg eccentricity (Lemma 22): {:>6.2} [{} rounds, truth {:.2}, ε = {eps}]",
+        a.estimate,
+        a.rounds,
+        g.average_eccentricity().unwrap()
+    );
+
+    // A ring-backbone WAN with tree subnets: the interesting girth case.
+    let g = cycle_with_body(8, 80, 5);
+    let net = Network::new(&g);
+    println!("\n== ring backbone with subnets (n = {}) ==", g.n());
+    let q = quantum_girth(&net, 0.5, 2)?;
+    let c = classical_girth(&net, 2)?;
+    println!(
+        "girth quantum (Cor. 26)    : {:?}   [{} rounds]",
+        q.girth, q.rounds
+    );
+    println!(
+        "girth classical baseline   : {:?}   [{} rounds]",
+        c.girth, c.rounds
+    );
+    println!(
+        "classical lower bound for girth is Ω(√n) ≈ {:.0} rounds [FHW12]",
+        dqc_core::girth::classical_lower_bound(g.n())
+    );
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration: the distributed-data applications (§4) —
+//! meeting scheduling, element distinctness, distributed Deutsch–Jozsa —
+//! answers vs centralized ground truth, and quantum/classical round
+//! relationships.
+
+use congest::generators::{double_star, dumbbell, grid, random_connected};
+use congest::runtime::Network;
+use dqc_core::deutsch_jozsa::{classical_exact_dj, classical_sampling_dj, quantum_dj, DjInstance};
+use dqc_core::distinctness::{
+    classical_distinctness, quantum_distinctness, quantum_distinctness_between_nodes,
+    DistinctnessInstance,
+};
+use dqc_core::scheduling::{
+    classical_meeting_scheduling, quantum_meeting_scheduling, MeetingInstance,
+};
+use pquery::deutsch_jozsa::DjAnswer;
+
+#[test]
+fn scheduling_quantum_and_classical_agree_with_truth() {
+    let (g, _) = dumbbell(6, 6, 8);
+    let net = Network::new(&g);
+    let inst = MeetingInstance::random(g.n(), 96, 0.4, 11);
+    let best = inst.best_attendance();
+    let c = classical_meeting_scheduling(&net, &inst, 1).unwrap();
+    assert_eq!(c.attendance, best, "classical is exact");
+    let mut hits = 0;
+    for seed in 0..5 {
+        let q = quantum_meeting_scheduling(&net, &inst, seed).unwrap();
+        assert_eq!(inst.attendance()[q.slot], q.attendance, "reported slot genuine");
+        hits += (q.attendance == best) as usize;
+    }
+    assert!(hits >= 3, "{hits}/5");
+}
+
+#[test]
+fn scheduling_sublinear_in_k() {
+    // Quadrupling k should grow quantum rounds ≈ 2× (√k), classical ≈ 4×.
+    let (g, _) = dumbbell(5, 5, 8);
+    let net = Network::new(&g);
+    let small = MeetingInstance::random(g.n(), 512, 0.3, 1);
+    let large = MeetingInstance::random(g.n(), 2048, 0.3, 1);
+    let qs = quantum_meeting_scheduling(&net, &small, 2).unwrap().rounds as f64;
+    let ql = quantum_meeting_scheduling(&net, &large, 2).unwrap().rounds as f64;
+    let cs = classical_meeting_scheduling(&net, &small, 2).unwrap().rounds as f64;
+    let cl = classical_meeting_scheduling(&net, &large, 2).unwrap().rounds as f64;
+    assert!(ql / qs < 3.2, "quantum growth {:.2} should be ≈ 2", ql / qs);
+    assert!(cl / cs > 3.0, "classical growth {:.2} should be ≈ 4", cl / cs);
+}
+
+#[test]
+fn distinctness_finds_planted_duplicates() {
+    let g = random_connected(16, 0.15, 3);
+    let net = Network::new(&g);
+    let inst = DistinctnessInstance::random(16, 200, Some((13, 150)), 5);
+    let c = classical_distinctness(&net, &inst, 1).unwrap();
+    assert_eq!(c.pair, Some((13, 150)));
+    let mut found = 0;
+    for seed in 0..6 {
+        if let Some(p) = quantum_distinctness(&net, &inst, seed).unwrap().pair {
+            assert_eq!(p, (13, 150), "one-sided error");
+            found += 1;
+        }
+    }
+    assert!(found >= 3, "{found}/6");
+}
+
+#[test]
+fn distinctness_clean_instances_never_fabricate() {
+    let g = grid(4, 4);
+    let net = Network::new(&g);
+    let inst = DistinctnessInstance::random(16, 150, None, 9);
+    for seed in 0..4 {
+        assert_eq!(quantum_distinctness(&net, &inst, seed).unwrap().pair, None);
+    }
+}
+
+#[test]
+fn distinctness_between_nodes_on_lower_bound_topology() {
+    let g = double_star(10, 10);
+    let net = Network::new(&g);
+    let mut values: Vec<u64> = (0..g.n() as u64).map(|v| 7000 + 13 * v).collect();
+    values[g.n() - 1] = values[1];
+    let mut found = 0;
+    for seed in 10..16 {
+        if let Some((i, j)) = quantum_distinctness_between_nodes(&net, &values, seed).unwrap().pair
+        {
+            assert_eq!(values[i], values[j]);
+            found += 1;
+        }
+    }
+    assert!(found >= 3, "{found}/6");
+}
+
+#[test]
+fn dj_exactness_over_many_instances() {
+    let g = random_connected(12, 0.2, 7);
+    let net = Network::new(&g);
+    for seed in 0..10 {
+        let ans = if seed % 2 == 0 { DjAnswer::Constant } else { DjAnswer::Balanced };
+        let inst = DjInstance::random(12, 64, ans, seed);
+        let q = quantum_dj(&net, &inst, seed).unwrap().unwrap();
+        assert_eq!(q.answer, ans, "zero-error violated at seed {seed}");
+        let c = classical_exact_dj(&net, &inst, seed).unwrap();
+        assert_eq!(c.answer, ans);
+        assert!(
+            q.rounds < c.rounds,
+            "quantum {} must beat exact classical {} already at k = 64",
+            q.rounds,
+            c.rounds
+        );
+    }
+}
+
+#[test]
+fn dj_sampling_errs_on_balanced_sometimes_but_is_fast() {
+    // With 2 samples, a balanced input is misclassified with probability
+    // 1/2 per run — demonstrating why the separation needs exactness.
+    let g = congest::generators::path(10);
+    let net = Network::new(&g);
+    let mut wrong = 0;
+    for seed in 0..12 {
+        let inst = DjInstance::random(10, 64, DjAnswer::Balanced, seed + 100);
+        let r = classical_sampling_dj(&net, &inst, 2, seed).unwrap();
+        wrong += (r.answer != DjAnswer::Balanced) as usize;
+    }
+    assert!(wrong >= 1, "sampling with 2 probes should err at least once in 12");
+    assert!(wrong <= 11, "and be right at least once");
+}
+
+#[test]
+fn dj_rounds_grow_with_diameter_not_k() {
+    let short = congest::generators::path(6);
+    let long = congest::generators::path(40);
+    let inst_s = DjInstance::random(6, 256, DjAnswer::Balanced, 3);
+    let inst_l = DjInstance::random(40, 256, DjAnswer::Balanced, 3);
+    let rs = quantum_dj(&Network::new(&short), &inst_s, 1).unwrap().unwrap().rounds;
+    let rl = quantum_dj(&Network::new(&long), &inst_l, 1).unwrap().unwrap().rounds;
+    assert!(rl > rs, "D = 39 must cost more than D = 5: {rs} vs {rl}");
+}

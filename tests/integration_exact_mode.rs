@@ -1,0 +1,119 @@
+//! Cross-crate integration: exact statevector mode vs the schedule
+//! emulations — the two fidelity levels must agree wherever they overlap.
+
+use congest::generators::{balanced_tree, path, random_tree, star};
+use congest::runtime::Network;
+use dqc_core::deutsch_jozsa::{quantum_dj, DjInstance};
+use dqc_core::exact::{exact_distribute_roundtrip, exact_distributed_dj};
+use pquery::deutsch_jozsa::DjAnswer;
+use pquery::oracle::VecSource;
+use qsim::complex::{c64, C64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn lemma7_fidelity_one_on_tree_families() {
+    let s = 0.5f64.sqrt();
+    for (g, leader) in [
+        (path(5), 0usize),
+        (path(5), 2),
+        (star(6), 0),
+        (star(6), 3),
+        (balanced_tree(2, 2), 0),
+        (random_tree(7, 11), 4),
+    ] {
+        let amps = vec![c64(s, 0.0), C64::ZERO, c64(0.0, -s), C64::ZERO];
+        let res = exact_distribute_roundtrip(&g, leader, amps).unwrap();
+        assert!(
+            res.distribute_fidelity > 1.0 - 1e-9,
+            "distribute fidelity {} on {g:?}",
+            res.distribute_fidelity
+        );
+        assert!(res.roundtrip_fidelity > 1.0 - 1e-9);
+        assert!(res.distribute_rounds >= 1);
+    }
+}
+
+#[test]
+fn exact_dj_agrees_with_scheduled_dj() {
+    // The same instance through (a) the exact statevector protocol and
+    // (b) the emulated framework must give identical answers.
+    let g = path(4);
+    let net = Network::new(&g);
+    let mut rng = StdRng::seed_from_u64(3);
+    for trial in 0..10 {
+        let ans = if trial % 2 == 0 { DjAnswer::Constant } else { DjAnswer::Balanced };
+        let k = 4;
+        // Build shares with the desired aggregate.
+        let inst = DjInstance::random(4, k, ans, trial + rng.gen_range(0..100));
+        let exact = exact_distributed_dj(&g, 0, &inst.local).unwrap();
+        let emulated = quantum_dj(&net, &inst, trial).unwrap().unwrap();
+        assert_eq!(exact.answer, emulated.answer, "trial {trial}");
+        assert_eq!(exact.answer, ans);
+        assert!(exact.outcome_probability > 1.0 - 1e-9, "DJ must be exact");
+    }
+}
+
+#[test]
+fn statevector_grover_agrees_with_emulated_success_rates() {
+    // Iteration-by-iteration: the statevector success probability after j
+    // iterations equals the closed form the emulator samples from.
+    let q = 5;
+    let k = 1 << q;
+    for t in [1usize, 2, 4] {
+        let marked = move |i: usize| i < t;
+        let mut s = qsim::state::State::zero(q);
+        s.h_all(0..q);
+        for j in 0..5 {
+            let p_sv = s.probability_where(|i| marked(i & (k - 1)));
+            let p_closed = qsim::grover::success_probability(q, t, j);
+            assert!((p_sv - p_closed).abs() < 1e-9, "t={t} j={j}");
+            qsim::grover::grover_iterate(&mut s, q, k, &marked);
+        }
+    }
+}
+
+#[test]
+fn emulated_grover_success_rate_matches_quantum_law() {
+    // Run the schedule emulation many times; its success frequency must be
+    // compatible with the exact algorithm's (both BBHT-style, ≥ 2/3).
+    let mut rng = StdRng::seed_from_u64(9);
+    let k = 256;
+    let runs = 60;
+    let mut emu_hits = 0;
+    let mut exact_hits = 0;
+    for r in 0..runs {
+        let target = (r * 37) % k;
+        let mut src = VecSource::new(
+            (0..k).map(|i| (i == target) as u64).collect(),
+            4,
+        );
+        if pquery::grover::search_one(&mut src, &|v| v != 0, &mut rng).found == Some(target) {
+            emu_hits += 1;
+        }
+        if qsim::grover::grover_search(k, |i| i == target, &mut rng).found == Some(target) {
+            exact_hits += 1;
+        }
+    }
+    assert!(emu_hits * 3 >= runs * 2, "emulated {emu_hits}/{runs}");
+    assert!(exact_hits * 3 >= runs * 2, "exact {exact_hits}/{runs}");
+    let diff = (emu_hits as f64 - exact_hits as f64).abs() / runs as f64;
+    assert!(diff < 0.35, "success rates diverge: {emu_hits} vs {exact_hits}");
+}
+
+#[test]
+fn qpe_statevector_backs_lemma29_outcomes() {
+    // dqc-core's distributed phase estimation samples its outcome from the
+    // real QPE circuit; verify the underlying circuit's precision here.
+    let mut rng = StdRng::seed_from_u64(21);
+    let phi = 0.6182;
+    let t = 8;
+    let mut ok = 0;
+    for _ in 0..25 {
+        let est = qsim::phase_estimation::estimate_diagonal_phase(phi, t, &mut rng);
+        if qsim::phase_estimation::phase_distance(est, phi) <= 1.0 / (1 << t) as f64 {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 17, "{ok}/25 within 2^-t (theory ≥ 8/π² ≈ 0.81)");
+}

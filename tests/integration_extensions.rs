@@ -1,0 +1,130 @@
+//! Cross-crate integration: the extension modules — Bernstein–Vazirani,
+//! success boosting, quantum counting, exact even cycles, and the
+//! lower-bound reduction gadgets end to end.
+
+use congest::generators::{grid, hypercube, path, random_connected_m};
+use congest::runtime::Network;
+use dqc_core::bernstein_vazirani::{classical_exact_bv, quantum_bv, BvInstance};
+use dqc_core::boosting::{boosted_diameter, repetitions};
+use dqc_core::counting::{classical_count_quorum_slots, quantum_count_quorum_slots};
+use dqc_core::even_cycles::{has_exact_cycle, quantum_exact_even_cycle};
+use dqc_core::exact::exact_distributed_bv;
+use dqc_core::reductions::{
+    decode_distinctness, decode_scheduling, disjointness_to_distinctness,
+    disjointness_to_scheduling, DisjointnessInstance,
+};
+use dqc_core::scheduling::{classical_meeting_scheduling, MeetingInstance};
+
+#[test]
+fn bv_three_fidelity_levels_agree() {
+    // Statevector, emulated-distributed, classical streaming — all must
+    // recover the same hidden string.
+    let g = path(4);
+    let net = Network::new(&g);
+    let hidden = vec![true, true, false, true];
+    let inst = BvInstance::random(4, &hidden, 5);
+    let exact = exact_distributed_bv(&g, 0, &inst.local).unwrap();
+    let emu = quantum_bv(&net, &inst, 1).unwrap();
+    let classical = classical_exact_bv(&net, &inst, 1).unwrap();
+    assert_eq!(exact.recovered, hidden);
+    assert_eq!(emu.recovered, hidden);
+    assert_eq!(classical.recovered, hidden);
+    assert!(exact.outcome_probability > 1.0 - 1e-9);
+}
+
+#[test]
+fn bv_separation_grows_with_m() {
+    let g = path(8);
+    let net = Network::new(&g);
+    let mut prev_ratio = 0.0;
+    for m in [128usize, 512, 2048] {
+        let hidden: Vec<bool> = (0..m).map(|i| i % 3 == 1).collect();
+        let inst = BvInstance::random(8, &hidden, m as u64);
+        let q = quantum_bv(&net, &inst, 2).unwrap().rounds as f64;
+        let c = classical_exact_bv(&net, &inst, 2).unwrap().rounds as f64;
+        let ratio = c / q;
+        assert!(ratio > prev_ratio, "separation must widen: {prev_ratio} -> {ratio}");
+        prev_ratio = ratio;
+    }
+    assert!(prev_ratio > 4.0, "final separation {prev_ratio}");
+}
+
+#[test]
+fn boosting_reaches_high_confidence() {
+    let g = random_connected_m(48, 70, 3);
+    let truth = g.diameter().unwrap();
+    let net = Network::new(&g);
+    let mut hits = 0;
+    for seed in 0..6 {
+        hits += (boosted_diameter(&net, 1.5, seed).unwrap().value == truth) as usize;
+    }
+    assert_eq!(hits, 6, "boosted runs should essentially never miss");
+    assert!(repetitions(48, 1.5) >= 4);
+}
+
+#[test]
+fn counting_consistent_with_classical() {
+    let g = grid(4, 4);
+    let net = Network::new(&g);
+    let inst = MeetingInstance::random(16, 500, 0.5, 13);
+    let exact = classical_count_quorum_slots(&net, &inst, 8, 1).unwrap().estimate;
+    let eps = 50.0;
+    let mut ok = 0;
+    for seed in 0..6 {
+        let q = quantum_count_quorum_slots(&net, &inst, 8, eps, seed).unwrap();
+        if (q.estimate - exact).abs() <= eps {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 4, "{ok}/6 within ε");
+}
+
+#[test]
+fn exact_even_cycles_on_hypercube() {
+    // Q4 contains C4, C6, C8 — and the quantum detector must find them
+    // while never inventing cycles on C10.
+    let g = hypercube(4);
+    assert!(has_exact_cycle(&g, 4) && has_exact_cycle(&g, 6) && has_exact_cycle(&g, 8));
+    let net = Network::new(&g);
+    for k in [4usize, 6, 8] {
+        let mut hits = 0;
+        for seed in 0..3 {
+            hits += quantum_exact_even_cycle(&net, k, seed).unwrap().found as usize;
+        }
+        assert!(hits >= 2, "C{k}: {hits}/3");
+    }
+}
+
+#[test]
+fn reduction_roundtrip_scheduling_and_distinctness() {
+    for seed in 0..6 {
+        let want = seed % 2 == 0;
+        // Build a disjointness instance with the desired answer.
+        let k = 20;
+        let mut a = vec![false; k];
+        let mut b = vec![false; k];
+        a[3] = true;
+        a[11] = true;
+        b[7] = true;
+        if want {
+            b[11] = true;
+        }
+        let inst = DisjointnessInstance::new(a, b);
+        assert_eq!(inst.intersects(), want);
+
+        let gadget = disjointness_to_scheduling(&inst, 5);
+        let net = Network::new(&gadget.graph);
+        let res = classical_meeting_scheduling(&net, &gadget.instance, seed).unwrap();
+        assert_eq!(decode_scheduling(res.attendance), want);
+
+        let gadget = disjointness_to_distinctness(&inst, 5);
+        let net = Network::new(&gadget.graph);
+        let res =
+            dqc_core::distinctness::classical_distinctness(&net, &gadget.instance, seed).unwrap();
+        let witness = decode_distinctness(res.pair, k);
+        assert_eq!(witness.is_some(), want);
+        if want {
+            assert_eq!(witness, Some(11));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration: the Theorem 8 framework end to end — pquery
+//! algorithms driving real congest protocols through dqc-core's oracle.
+
+use congest::aggregate::CommOp;
+use congest::generators::{balanced_tree, grid, path, random_connected, star};
+use congest::runtime::Network;
+use dqc_core::framework::{theorem8_rounds, CongestOracle, StoredValues};
+use pquery::grover::{search_all, search_one};
+use pquery::minimum::{find_extremum, Extremum};
+use pquery::oracle::BatchSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn xor_instance(n: usize, k: usize, marked: &[usize], seed: u64) -> StoredValues {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut local: Vec<Vec<u64>> =
+        (0..n).map(|_| (0..k).map(|_| rng.gen_range(0..2u64)).collect()).collect();
+    for j in 0..k {
+        let parity = local.iter().map(|v| v[j]).fold(0, |a, b| a ^ b);
+        local[0][j] ^= parity; // aggregate 0 everywhere
+    }
+    for &m in marked {
+        local[0][m] ^= 1;
+    }
+    StoredValues::new(local, 1, CommOp::Xor)
+}
+
+#[test]
+fn grover_through_network_on_many_topologies() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let graphs = vec![path(12), star(9), grid(4, 4), balanced_tree(2, 3), random_connected(18, 0.15, 1)];
+    let mut hits = 0;
+    let mut total = 0;
+    for g in &graphs {
+        let n = g.n();
+        let provider = xor_instance(n, 96, &[41], 7);
+        let net = Network::new(g);
+        let mut oracle = CongestOracle::setup(&net, provider, 1, 3).unwrap();
+        let p = oracle.suggested_p();
+        oracle.set_p(p);
+        total += 1;
+        if search_one(&mut oracle, &|v| v == 1, &mut rng).found == Some(41) {
+            hits += 1;
+        }
+        assert!(oracle.rounds() > 0);
+        assert!(oracle.batches() > 0);
+    }
+    assert!(hits >= total - 1, "{hits}/{total} topologies found the marked index");
+}
+
+#[test]
+fn search_all_through_network() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = grid(5, 4);
+    let marked = vec![3usize, 50, 77];
+    let provider = xor_instance(g.n(), 128, &marked, 9);
+    let net = Network::new(&g);
+    let mut oracle = CongestOracle::setup(&net, provider, 6, 2).unwrap();
+    let (found, _) = search_all(&mut oracle, &|v| v == 1, &mut rng);
+    assert!(found.iter().all(|i| marked.contains(i)), "no false positives: {found:?}");
+    assert!(found.len() >= 2, "found {found:?}");
+}
+
+#[test]
+fn minimum_through_network_matches_truth_mostly() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let g = random_connected(20, 0.12, 4);
+    let mut src_rng = StdRng::seed_from_u64(11);
+    let local: Vec<Vec<u64>> = (0..20)
+        .map(|_| (0..60).map(|_| src_rng.gen_range(0..100u64)).collect())
+        .collect();
+    let provider = StoredValues::new(local, 16, CommOp::Sum);
+    let truth = *provider.aggregates().iter().min().unwrap();
+    let net = Network::new(&g);
+    let mut hits = 0;
+    for seed in 0..5 {
+        let provider = provider.clone();
+        let mut oracle = CongestOracle::setup(&net, provider, 4, seed).unwrap();
+        let out = find_extremum(&mut oracle, Extremum::Min, &mut rng);
+        if out.value == truth {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 4, "{hits}/5");
+}
+
+#[test]
+fn measured_rounds_within_constant_of_theorem8_bound() {
+    // The measured round count of b batches must stay within a constant
+    // factor of the Theorem 8 formula.
+    let g = path(20);
+    let net = Network::new(&g);
+    let n = 20;
+    let k = 64;
+    let q = 8;
+    let local: Vec<Vec<u64>> = (0..n).map(|v| (0..k).map(|j| ((v + j) % 4) as u64).collect()).collect();
+    let provider = StoredValues::new(local, q, CommOp::Max);
+    let mut oracle = CongestOracle::setup(&net, provider, 8, 3).unwrap();
+    let b = 5;
+    for i in 0..b {
+        let batch: Vec<usize> = (0..8).map(|x| (x * 7 + i) % k).collect();
+        oracle.query(&batch);
+    }
+    let measured = oracle.rounds() as f64;
+    let theory = theorem8_rounds(19, b as f64, 8, q, k, n);
+    assert!(
+        measured <= 8.0 * theory,
+        "measured {measured} should be O(theory {theory})"
+    );
+    assert!(
+        measured >= theory / 8.0,
+        "measured {measured} suspiciously below theory {theory}"
+    );
+}
+
+#[test]
+fn ledger_phases_cover_all_protocol_steps() {
+    let g = star(8);
+    let net = Network::new(&g);
+    let provider = xor_instance(8, 32, &[5], 1);
+    let mut oracle = CongestOracle::setup(&net, provider, 4, 1).unwrap();
+    oracle.query(&[1, 2, 3, 5]);
+    let names: Vec<&str> = oracle.ledger().phases().iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"setup/leader-election"));
+    assert!(names.contains(&"setup/bfs-tree"));
+    assert!(names.contains(&"batch/distribute"));
+    assert!(names.contains(&"batch/aggregate"));
+    assert!(names.contains(&"batch/gather"));
+}
+
+#[test]
+fn oracle_peek_is_free() {
+    let g = path(6);
+    let net = Network::new(&g);
+    let provider = xor_instance(6, 16, &[3], 2);
+    let oracle = CongestOracle::setup(&net, provider, 2, 1).unwrap();
+    let setup_rounds = oracle.rounds();
+    let _ = oracle.peek(3);
+    let _ = oracle.peek(0);
+    assert_eq!(oracle.rounds(), setup_rounds, "peek must not cost rounds");
+    assert_eq!(oracle.batches(), 0);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: the graph applications (§5) — diameter,
+//! radius, average eccentricity, cycle detection, girth — against
+//! centralized ground truth.
+
+use congest::generators::{
+    cycle, cycle_with_body, grid, hypercube, many_cycles, random_connected, random_tree,
+};
+use congest::runtime::Network;
+use dqc_core::cycles::{classical_cycle_detection, quantum_cycle_detection};
+use dqc_core::eccentricity::{
+    classical_diameter_radius, quantum_average_eccentricity, quantum_diameter, quantum_radius,
+};
+use dqc_core::girth::{classical_girth, quantum_girth};
+
+#[test]
+fn diameter_radius_on_structured_families() {
+    for g in [grid(7, 5), cycle(21), hypercube(5)] {
+        let net = Network::new(&g);
+        let (cd, cr, _, _) = classical_diameter_radius(&net, 1).unwrap();
+        assert_eq!(Some(cd), g.diameter());
+        assert_eq!(Some(cr), g.radius());
+        let mut d_hits = 0;
+        let mut r_hits = 0;
+        for seed in 0..3 {
+            d_hits += (quantum_diameter(&net, seed).unwrap().value == cd) as usize;
+            r_hits += (quantum_radius(&net, seed).unwrap().value == cr) as usize;
+        }
+        assert!(d_hits >= 2, "diameter {d_hits}/3 on {g:?}");
+        assert!(r_hits >= 2, "radius {r_hits}/3 on {g:?}");
+    }
+}
+
+#[test]
+fn avg_eccentricity_tracks_truth_as_eps_shrinks() {
+    let g = grid(8, 6);
+    let truth = g.average_eccentricity().unwrap();
+    let net = Network::new(&g);
+    let coarse = quantum_average_eccentricity(&net, 3.0, 5).unwrap();
+    let fine = quantum_average_eccentricity(&net, 0.75, 5).unwrap();
+    assert!((coarse.estimate - truth).abs() <= 9.0);
+    assert!((fine.estimate - truth).abs() <= 2.25);
+    assert!(fine.rounds > coarse.rounds, "higher precision must cost more");
+}
+
+#[test]
+fn cycle_detection_agreement_with_reference_on_random_graphs() {
+    for seed in 0..6 {
+        let g = random_connected(40, 0.07, seed);
+        let net = Network::new(&g);
+        let truth = g.girth();
+        for k in [4usize, 6, 8] {
+            let c = classical_cycle_detection(&net, k, 2).unwrap();
+            let want = truth.filter(|&gl| gl as usize <= k).map(|gl| gl as usize);
+            assert_eq!(c.length, want, "classical exact, seed {seed}, k {k}");
+            // Quantum: one-sided; when it answers, the length is ≥ girth.
+            let q = quantum_cycle_detection(&net, k, seed).unwrap();
+            if let (Some(ql), Some(gl)) = (q.length, truth) {
+                assert!(ql >= gl as usize, "seed {seed} k {k}: {ql} < girth {gl}");
+                assert!(ql <= k);
+            }
+        }
+    }
+}
+
+#[test]
+fn no_cycles_invented_on_trees() {
+    for seed in 0..4 {
+        let g = random_tree(50, seed);
+        let net = Network::new(&g);
+        assert_eq!(quantum_cycle_detection(&net, 8, seed).unwrap().length, None);
+        assert_eq!(classical_cycle_detection(&net, 8, seed).unwrap().length, None);
+        assert_eq!(quantum_girth(&net, 0.5, seed).unwrap().girth, None);
+    }
+}
+
+#[test]
+fn girth_pipeline_end_to_end() {
+    for (g, want) in [
+        (cycle_with_body(7, 40, 2), 7usize),
+        (many_cycles(4, 5, 3), 4),
+        (grid(6, 5), 4),
+    ] {
+        let net = Network::new(&g);
+        let c = classical_girth(&net, 1).unwrap();
+        assert_eq!(c.girth, Some(want));
+        let mut hits = 0;
+        for seed in 0..3 {
+            let q = quantum_girth(&net, 0.5, seed).unwrap();
+            if q.girth == Some(want) {
+                hits += 1;
+            }
+            if let Some(l) = q.girth {
+                assert!(l >= want);
+            }
+        }
+        assert!(hits >= 2, "{hits}/3 for girth {want}");
+    }
+}
+
+#[test]
+fn quantum_diameter_rounds_follow_sqrt_nd() {
+    // Measured rounds over growing n with controlled D should follow
+    // √(nD) within a constant factor band.
+    let mut ratios = Vec::new();
+    for n in [64usize, 144, 256] {
+        let g = grid(n / 8, 8);
+        let net = Network::new(&g);
+        let d = g.diameter().unwrap() as f64;
+        let r = quantum_diameter(&net, 4).unwrap().rounds as f64;
+        ratios.push(r / (g.n() as f64 * d).sqrt());
+    }
+    let lo = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(hi / lo < 6.0, "rounds/√(nD) band too wide: {ratios:?}");
+}
