@@ -37,7 +37,7 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&tables).expect("serialize tables");
+        let json = dqc_bench::table::tables_to_json(&tables);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

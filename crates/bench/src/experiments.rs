@@ -6,6 +6,7 @@
 //! `pquery` emulations) and whose *theory* columns are the paper's bounds;
 //! notes record log-log scaling fits where a power law is claimed.
 
+use crate::harness::{cell_seed, parallel_cells};
 use crate::table::{loglog_slope, Table};
 use congest::generators::{
     cycle_with_body, double_star, dumbbell, grid, path, random_connected_m, random_tree,
@@ -134,39 +135,44 @@ pub fn e2_parallel_grover(scale: Scale) -> Table {
         Scale::Quick => &[1024, 4096],
         Scale::Full => &[1024, 4096, 16384],
     };
-    let mut rng = StdRng::seed_from_u64(2);
-    let mut fits = Vec::new();
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
     for &k in ks {
         for &tm in &[1usize, 9] {
             for &p in &[1usize, 16] {
-                let mut sum_one = 0usize;
-                let mut sum_all = 0usize;
-                for r in 0..runs {
-                    let mut data = vec![0u64; k];
-                    for j in 0..tm {
-                        data[(j * 797 + r * 31) % k] = 1;
-                    }
-                    let mut src = VecSource::new(data.clone(), p);
-                    sum_one += pquery::grover::search_one(&mut src, &|v| v != 0, &mut rng).batches;
-                    let mut src = VecSource::new(data, p);
-                    sum_all += pquery::grover::search_all(&mut src, &|v| v != 0, &mut rng).1;
-                }
-                let mone = sum_one as f64 / runs as f64;
-                let mall = sum_all as f64 / runs as f64;
-                let th_one = pquery::complexity::grover_one_batches(k, tm, p);
-                let th_all = pquery::complexity::grover_all_batches(k, tm, p);
-                fits.push((th_one, mone));
-                t.row(vec![
-                    k.to_string(),
-                    tm.to_string(),
-                    p.to_string(),
-                    fmt_f(mone),
-                    fmt_f(th_one),
-                    fmt_f(mall),
-                    fmt_f(th_all),
-                ]);
+                cells.push((k, tm, p));
             }
         }
+    }
+    let measured = parallel_cells(&cells, |idx, &(k, tm, p)| {
+        let mut rng = StdRng::seed_from_u64(cell_seed(2, idx));
+        let mut sum_one = 0usize;
+        let mut sum_all = 0usize;
+        for r in 0..runs {
+            let mut data = vec![0u64; k];
+            for j in 0..tm {
+                data[(j * 797 + r * 31) % k] = 1;
+            }
+            let mut src = VecSource::new(data.clone(), p);
+            sum_one += pquery::grover::search_one(&mut src, &|v| v != 0, &mut rng).batches;
+            let mut src = VecSource::new(data, p);
+            sum_all += pquery::grover::search_all(&mut src, &|v| v != 0, &mut rng).1;
+        }
+        (sum_one as f64 / runs as f64, sum_all as f64 / runs as f64)
+    });
+    let mut fits = Vec::new();
+    for (&(k, tm, p), &(mone, mall)) in cells.iter().zip(&measured) {
+        let th_one = pquery::complexity::grover_one_batches(k, tm, p);
+        let th_all = pquery::complexity::grover_all_batches(k, tm, p);
+        fits.push((th_one, mone));
+        t.row(vec![
+            k.to_string(),
+            tm.to_string(),
+            p.to_string(),
+            fmt_f(mone),
+            fmt_f(th_one),
+            fmt_f(mall),
+            fmt_f(th_all),
+        ]);
     }
     t.note(format!(
         "log-log slope of measured b(one) vs √(k/(tp)): {:.3} (theory 1.0)",
@@ -195,42 +201,48 @@ pub fn e3_parallel_minimum(scale: Scale) -> Table {
         Scale::Quick => &[1024, 8192],
         Scale::Full => &[1024, 8192, 65536],
     };
-    let mut rng = StdRng::seed_from_u64(3);
-    let mut fits = Vec::new();
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
     for &k in ks {
         for &p in &[1usize, 16] {
             for &ell in &[1usize, 16] {
-                let mut sum = 0usize;
-                let mut correct = 0usize;
-                for r in 0..runs {
-                    let mut data: Vec<u64> =
-                        (0..k).map(|i| 100 + ((i as u64 * 48271 + r as u64) % 100_000)).collect();
-                    for j in 0..ell {
-                        data[(j * 1103 + r * 13) % k] = 1;
-                    }
-                    let mut src = VecSource::new(data, p);
-                    let out = pquery::minimum::find_extremum_with_multiplicity(
-                        &mut src,
-                        pquery::minimum::Extremum::Min,
-                        ell,
-                        &mut rng,
-                    );
-                    sum += out.batches;
-                    correct += (out.value == 1) as usize;
-                }
-                let meas = sum as f64 / runs as f64;
-                let theory = pquery::complexity::minimum_multiplicity_batches(k, ell, p);
-                fits.push((theory, meas));
-                t.row(vec![
-                    k.to_string(),
-                    p.to_string(),
-                    ell.to_string(),
-                    fmt_f(meas),
-                    fmt_f(theory),
-                    format!("{}", correct * 100 / runs),
-                ]);
+                cells.push((k, p, ell));
             }
         }
+    }
+    let measured = parallel_cells(&cells, |idx, &(k, p, ell)| {
+        let mut rng = StdRng::seed_from_u64(cell_seed(3, idx));
+        let mut sum = 0usize;
+        let mut correct = 0usize;
+        for r in 0..runs {
+            let mut data: Vec<u64> =
+                (0..k).map(|i| 100 + ((i as u64 * 48271 + r as u64) % 100_000)).collect();
+            for j in 0..ell {
+                data[(j * 1103 + r * 13) % k] = 1;
+            }
+            let mut src = VecSource::new(data, p);
+            let out = pquery::minimum::find_extremum_with_multiplicity(
+                &mut src,
+                pquery::minimum::Extremum::Min,
+                ell,
+                &mut rng,
+            );
+            sum += out.batches;
+            correct += (out.value == 1) as usize;
+        }
+        (sum as f64 / runs as f64, correct)
+    });
+    let mut fits = Vec::new();
+    for (&(k, p, ell), &(meas, correct)) in cells.iter().zip(&measured) {
+        let theory = pquery::complexity::minimum_multiplicity_batches(k, ell, p);
+        fits.push((theory, meas));
+        t.row(vec![
+            k.to_string(),
+            p.to_string(),
+            ell.to_string(),
+            fmt_f(meas),
+            fmt_f(theory),
+            format!("{}", correct * 100 / runs),
+        ]);
     }
     t.note(format!(
         "log-log slope of measured b vs √(k/(ℓp)): {:.3} (theory 1.0)",
@@ -259,34 +271,40 @@ pub fn e4_parallel_distinctness(scale: Scale) -> Table {
         Scale::Quick => &[512, 2048],
         Scale::Full => &[512, 2048, 8192, 32768],
     };
-    let mut rng = StdRng::seed_from_u64(4);
-    let mut fits = Vec::new();
+    let mut cells: Vec<(usize, usize)> = Vec::new();
     for &k in ks {
         for &p in &[1usize, 8, 64] {
-            let mut sum = 0usize;
-            let mut found = 0usize;
-            for r in 0..runs {
-                let mut data: Vec<u64> = (0..k as u64).map(|i| 10_000 + i).collect();
-                let (i, j) = ((r * 37) % k, (r * 151 + k / 3) % k);
-                if i != j {
-                    data[j] = data[i];
-                }
-                let mut src = VecSource::new(data, p);
-                let out = pquery::distinctness::element_distinctness(&mut src, &mut rng);
-                sum += out.batches;
-                found += out.pair.is_some() as usize;
-            }
-            let meas = sum as f64 / runs as f64;
-            let theory = pquery::complexity::distinctness_batches(k, p);
-            fits.push((theory, meas));
-            t.row(vec![
-                k.to_string(),
-                p.to_string(),
-                fmt_f(meas),
-                fmt_f(theory),
-                format!("{}", found * 100 / runs),
-            ]);
+            cells.push((k, p));
         }
+    }
+    let measured = parallel_cells(&cells, |idx, &(k, p)| {
+        let mut rng = StdRng::seed_from_u64(cell_seed(4, idx));
+        let mut sum = 0usize;
+        let mut found = 0usize;
+        for r in 0..runs {
+            let mut data: Vec<u64> = (0..k as u64).map(|i| 10_000 + i).collect();
+            let (i, j) = ((r * 37) % k, (r * 151 + k / 3) % k);
+            if i != j {
+                data[j] = data[i];
+            }
+            let mut src = VecSource::new(data, p);
+            let out = pquery::distinctness::element_distinctness(&mut src, &mut rng);
+            sum += out.batches;
+            found += out.pair.is_some() as usize;
+        }
+        (sum as f64 / runs as f64, found)
+    });
+    let mut fits = Vec::new();
+    for (&(k, p), &(meas, found)) in cells.iter().zip(&measured) {
+        let theory = pquery::complexity::distinctness_batches(k, p);
+        fits.push((theory, meas));
+        t.row(vec![
+            k.to_string(),
+            p.to_string(),
+            fmt_f(meas),
+            fmt_f(theory),
+            format!("{}", found * 100 / runs),
+        ]);
     }
     t.note(format!(
         "log-log slope of measured b vs (k/p)^(2/3): {:.3} (theory 1.0)",
@@ -318,25 +336,32 @@ pub fn e5_parallel_mean(scale: Scale) -> Table {
         let var = data.iter().map(|&v| (v as f64 - mu).powi(2)).sum::<f64>() / k as f64;
         var.sqrt()
     };
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut cells: Vec<(f64, usize)> = Vec::new();
     for &eps in &[8.0f64, 2.0, 0.5] {
         for &p in &[1usize, 16] {
-            let mut sum = 0usize;
-            let mut worst: f64 = 0.0;
-            for _ in 0..runs {
-                let mut src = VecSource::new(data.clone(), p);
-                let out = pquery::mean::estimate_mean(&mut src, sigma, eps, &mut rng);
-                sum += out.batches;
-                worst = worst.max((out.estimate - mu).abs() / eps);
-            }
-            t.row(vec![
-                fmt_f(eps),
-                p.to_string(),
-                fmt_f(sum as f64 / runs as f64),
-                fmt_f(pquery::complexity::mean_batches(sigma, eps, p)),
-                fmt_f(worst),
-            ]);
+            cells.push((eps, p));
         }
+    }
+    let measured = parallel_cells(&cells, |idx, &(eps, p)| {
+        let mut rng = StdRng::seed_from_u64(cell_seed(5, idx));
+        let mut sum = 0usize;
+        let mut worst: f64 = 0.0;
+        for _ in 0..runs {
+            let mut src = VecSource::new(data.clone(), p);
+            let out = pquery::mean::estimate_mean(&mut src, sigma, eps, &mut rng);
+            sum += out.batches;
+            worst = worst.max((out.estimate - mu).abs() / eps);
+        }
+        (sum as f64 / runs as f64, worst)
+    });
+    for (&(eps, p), &(meas, worst)) in cells.iter().zip(&measured) {
+        t.row(vec![
+            fmt_f(eps),
+            p.to_string(),
+            fmt_f(meas),
+            fmt_f(pquery::complexity::mean_batches(sigma, eps, p)),
+            fmt_f(worst),
+        ]);
     }
     t.note("max|err|/ε ≤ 3 always; ≤ 1 in ≥ 2/3 of runs (Lemma 6's guarantee)".to_string());
     t

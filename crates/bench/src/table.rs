@@ -1,9 +1,7 @@
 //! Result tables for the experiment harness.
 
-use serde::Serialize;
-
 /// One experiment's result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. "E6".
     pub id: String,
@@ -43,6 +41,40 @@ impl Table {
         self.notes.push(s.into());
     }
 
+    /// Render as a pretty-printed JSON object (field-for-field the same
+    /// shape the former serde derive produced).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        let inner = "  ".repeat(indent + 1);
+        let string_list = |items: &[String]| -> String {
+            let cells: Vec<String> = items.iter().map(|c| json_string(c)).collect();
+            format!("[{}]", cells.join(", "))
+        };
+        let rows: Vec<String> =
+            self.rows.iter().map(|r| format!("{inner}  {}", string_list(r))).collect();
+        let rows_block = if rows.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n{inner}]", rows.join(",\n"))
+        };
+        format!(
+            "{pad}{{\n\
+             {inner}\"id\": {},\n\
+             {inner}\"title\": {},\n\
+             {inner}\"claim\": {},\n\
+             {inner}\"header\": {},\n\
+             {inner}\"rows\": {},\n\
+             {inner}\"notes\": {}\n\
+             {pad}}}",
+            json_string(&self.id),
+            json_string(&self.title),
+            json_string(&self.claim),
+            string_list(&self.header),
+            rows_block,
+            string_list(&self.notes),
+        )
+    }
+
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
@@ -75,6 +107,37 @@ impl Table {
         }
         out
     }
+}
+
+/// Serialize a list of tables as one pretty-printed JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    if tables.is_empty() {
+        return "[]".to_string();
+    }
+    let items: Vec<String> = tables.iter().map(|t| t.to_json(1)).collect();
+    format!("[\n{}\n]", items.join(",\n"))
+}
+
+/// A JSON string literal for `s` (quotes, escapes, and control bytes).
+fn json_string(s: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Least-squares slope of `log y` against `log x` — the measured scaling
@@ -115,6 +178,26 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("E0", "demo", "x", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let mut t = Table::new("E1", "demo \"quoted\"", "claim", &["a", "b"]);
+        t.row(vec!["1".into(), "x\ny".into()]);
+        t.note("note");
+        let json = tables_to_json(&[t]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"id\": \"E1\""));
+        assert!(json.contains("demo \\\"quoted\\\""));
+        assert!(json.contains("x\\ny"));
+        assert!(json.contains("\"notes\": [\"note\"]"));
+        assert_eq!(tables_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn json_empty_rows() {
+        let t = Table::new("E0", "t", "c", &["h"]);
+        assert!(t.to_json(0).contains("\"rows\": []"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::collections::VecDeque;
 ///
 /// All variants are associative and commutative; `Sum` wraps modulo `2^64`
 /// (the applications in the paper keep sums below `n·N`, well within range).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommOp {
     /// Wrapping addition.
     Sum,

@@ -187,6 +187,20 @@ impl Graph {
         u != v && self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// The index of `w` within the sorted neighbor list of `v`, or `None`
+    /// if `{v, w}` is not an edge.
+    ///
+    /// `neighbor_rank(v, w) == Some(r)` iff `neighbors(v)[r] == w`; the rank
+    /// is a dense per-endpoint edge index, which lets the round engine keep
+    /// per-edge load counters in a flat array instead of a keyed map.
+    #[inline]
+    pub fn neighbor_rank(&self, v: NodeId, w: NodeId) -> Option<usize> {
+        if v == w {
+            return None;
+        }
+        self.neighbors(v).binary_search(&w).ok()
+    }
+
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
         (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
@@ -575,6 +589,23 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn induced_subgraph_rejects_duplicates() {
         path(5).induced_subgraph(&[1, 1]);
+    }
+
+    #[test]
+    fn neighbor_rank_indexes_adjacency() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 3), (0, 4), (2, 3)]).unwrap();
+        assert_eq!(g.neighbor_rank(0, 1), Some(0));
+        assert_eq!(g.neighbor_rank(0, 3), Some(1));
+        assert_eq!(g.neighbor_rank(0, 4), Some(2));
+        assert_eq!(g.neighbor_rank(0, 2), None);
+        assert_eq!(g.neighbor_rank(0, 0), None);
+        assert_eq!(g.neighbor_rank(3, 0), Some(0));
+        assert_eq!(g.neighbor_rank(3, 2), Some(1));
+        for v in 0..5 {
+            for (r, &w) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(g.neighbor_rank(v, w), Some(r));
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!
 //! Determinism: the engine itself is deterministic; protocols that need
 //! randomness own a seeded RNG, so a whole run is reproducible from its
-//! seeds.
+//! seeds. The parallel engine ([`EngineMode`]) preserves this bit for bit:
+//! nodes are partitioned into contiguous [`NodeId`] chunks, each worker
+//! processes its chunk in id order, and the per-chunk results (outgoing
+//! messages, statistics, first error) are merged back in chunk order — so
+//! every observable output equals the sequential engine's. See
+//! `DESIGN.md`, "Engine internals".
 
 use crate::graph::{bits_for, Graph, NodeId};
 use std::fmt;
@@ -113,13 +118,31 @@ impl<'a, M: MessageSize> Ctx<'a, M> {
     }
 
     /// Queue `msg` to every neighbor.
+    ///
+    /// The final neighbor receives `msg` itself; only the first
+    /// `degree - 1` deliveries pay for a clone.
     pub fn broadcast(&mut self, msg: M)
     where
         M: Clone,
     {
-        for &w in self.neighbors {
-            self.out.push((w, msg.clone()));
+        if let Some((&last, rest)) = self.neighbors.split_last() {
+            self.out.reserve(self.neighbors.len());
+            for &w in rest {
+                self.out.push((w, msg.clone()));
+            }
+            self.out.push((last, msg));
         }
+    }
+
+    /// Queue a batch of addressed messages in one call.
+    ///
+    /// Equivalent to calling [`send`](Self::send) for each pair, in order,
+    /// but lets the outbox grow in a single reservation.
+    pub fn send_many<I>(&mut self, msgs: I)
+    where
+        I: IntoIterator<Item = (NodeId, M)>,
+    {
+        self.out.extend(msgs);
     }
 }
 
@@ -258,6 +281,33 @@ impl Trace {
     }
 }
 
+/// How the engine executes each round's `on_round` calls.
+///
+/// All modes produce bit-identical results (statistics, traces, final node
+/// states, and the first error of a failing run); the mode only chooses how
+/// the work is scheduled onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Parallelize when the network is large enough to amortize the
+    /// per-round thread fan-out ([`PARALLEL_NODE_THRESHOLD`] nodes) and the
+    /// host has more than one core; otherwise run sequentially.
+    #[default]
+    Auto,
+    /// Always run the single-threaded engine.
+    Sequential,
+    /// Always fan out across `threads` workers (clamped to at least 1).
+    Parallel {
+        /// Number of worker threads per round.
+        threads: usize,
+    },
+}
+
+/// Minimum node count at which [`EngineMode::Auto`] parallelizes.
+///
+/// Below this, a round's work is comparable to the cost of spawning the
+/// scoped worker threads, so the sequential engine wins.
+pub const PARALLEL_NODE_THRESHOLD: usize = 256;
+
 /// A CONGEST network: a topology plus execution parameters.
 ///
 /// # Examples
@@ -275,6 +325,7 @@ pub struct Network<'g> {
     graph: &'g Graph,
     cap_bits: u64,
     max_rounds: usize,
+    engine: EngineMode,
 }
 
 /// Default bandwidth multiplier: each link carries up to
@@ -289,7 +340,7 @@ impl<'g> Network<'g> {
     /// (`4⌈log₂ n⌉` bits) and a generous round limit.
     pub fn new(graph: &'g Graph) -> Self {
         let cap = DEFAULT_BANDWIDTH_FACTOR * bits_for(graph.n().saturating_sub(1) as u64);
-        Network { graph, cap_bits: cap, max_rounds: 1_000_000 }
+        Network { graph, cap_bits: cap, max_rounds: 1_000_000, engine: EngineMode::Auto }
     }
 
     /// Override the per-edge per-round bandwidth cap.
@@ -309,6 +360,33 @@ impl<'g> Network<'g> {
         self
     }
 
+    /// Select how rounds are executed (default: [`EngineMode::Auto`]).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// The worker count a run over `n_nodes` nodes would use right now.
+    fn effective_threads(&self, n_nodes: usize) -> usize {
+        let raw = match self.engine {
+            EngineMode::Sequential => 1,
+            EngineMode::Parallel { threads } => threads,
+            EngineMode::Auto => {
+                if n_nodes >= PARALLEL_NODE_THRESHOLD {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    1
+                }
+            }
+        };
+        raw.clamp(1, n_nodes.max(1))
+    }
+
     /// The topology.
     pub fn graph(&self) -> &Graph {
         self.graph
@@ -322,12 +400,24 @@ impl<'g> Network<'g> {
     /// Execute `nodes[v]` as the protocol instance at node `v` until every
     /// node is done and no messages are in flight.
     ///
+    /// Scheduling follows [`with_engine`](Self::with_engine); every mode
+    /// yields bit-identical results. Protocols that cannot satisfy the
+    /// `Send`/`Sync` bounds can always use
+    /// [`run_sequential`](Self::run_sequential).
+    ///
     /// # Errors
     ///
     /// Returns an error if a node sends to a non-neighbor, an edge exceeds
     /// the bandwidth cap, the round limit is hit, or `nodes.len() != n`.
-    pub fn run<P: NodeProtocol>(&self, nodes: Vec<P>) -> Result<Run<P>, RuntimeError> {
-        self.run_impl(nodes, None)
+    pub fn run<P>(&self, nodes: Vec<P>) -> Result<Run<P>, RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        match self.effective_threads(nodes.len()) {
+            1 => self.run_impl(nodes, None),
+            threads => self.run_parallel_impl(nodes, None, threads),
+        }
     }
 
     /// Like [`run`](Self::run), but also records a per-round
@@ -337,7 +427,38 @@ impl<'g> Network<'g> {
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
-    pub fn run_traced<P: NodeProtocol>(
+    pub fn run_traced<P>(&self, nodes: Vec<P>) -> Result<(Run<P>, Trace), RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let mut trace = Trace::default();
+        let run = match self.effective_threads(nodes.len()) {
+            1 => self.run_impl(nodes, Some(&mut trace))?,
+            threads => self.run_parallel_impl(nodes, Some(&mut trace), threads)?,
+        };
+        trace.rounds.truncate(run.stats.rounds);
+        Ok((run, trace))
+    }
+
+    /// [`run`](Self::run) on the single-threaded engine, regardless of the
+    /// configured [`EngineMode`]. This is the reference implementation the
+    /// parallel engine is checked against, and the only entry point for
+    /// protocols whose state is not `Send`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_sequential<P: NodeProtocol>(&self, nodes: Vec<P>) -> Result<Run<P>, RuntimeError> {
+        self.run_impl(nodes, None)
+    }
+
+    /// [`run_traced`](Self::run_traced) on the single-threaded engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_sequential_traced<P: NodeProtocol>(
         &self,
         nodes: Vec<P>,
     ) -> Result<(Run<P>, Trace), RuntimeError> {
@@ -345,6 +466,51 @@ impl<'g> Network<'g> {
         let run = self.run_impl(nodes, Some(&mut trace))?;
         trace.rounds.truncate(run.stats.rounds);
         Ok((run, trace))
+    }
+
+    /// Validate and deliver one sender's outbox, updating run statistics
+    /// and the round accumulator.
+    ///
+    /// Per-edge load is accumulated in `router`'s rank-indexed slot array —
+    /// one `O(log deg)` rank lookup per message, no per-sender allocation —
+    /// and only the touched slots are flushed and reset, so routing cost is
+    /// proportional to traffic rather than to the sender's degree.
+    #[inline]
+    fn route_sender<M: MessageSize>(
+        &self,
+        from: NodeId,
+        round: usize,
+        outbox: &mut Vec<(NodeId, M)>,
+        next_inboxes: &mut [Vec<(NodeId, M)>],
+        router: &mut Router,
+        (stats, acc): (&mut RunStats, &mut RoundAccum),
+    ) -> Result<(), RuntimeError> {
+        for (to, msg) in outbox.drain(..) {
+            let Some(rank) = self.graph.neighbor_rank(from, to) else {
+                return Err(RuntimeError::NotANeighbor { round, from, to });
+            };
+            let bits = msg.size_bits();
+            if router.slots[rank] == 0 {
+                router.touched.push(rank);
+            }
+            router.slots[rank] += bits;
+            if router.slots[rank] > self.cap_bits {
+                return Err(RuntimeError::BandwidthExceeded {
+                    round,
+                    from,
+                    to,
+                    bits: router.slots[rank],
+                    cap: self.cap_bits,
+                });
+            }
+            stats.messages += 1;
+            stats.total_bits += bits;
+            acc.messages += 1;
+            acc.bits += bits;
+            next_inboxes[to].push((from, msg));
+        }
+        router.flush(from, self.graph.neighbors(from), stats, acc);
+        Ok(())
     }
 
     fn run_impl<P: NodeProtocol>(
@@ -360,11 +526,12 @@ impl<'g> Network<'g> {
         let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
         let mut stats = RunStats::default();
         let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
-        // Tracks per-destination load for the currently processed sender.
+        let mut router = Router::new(self.graph.max_degree());
         let mut last_active_round = 0usize;
 
         for round in 0..self.max_rounds {
             let mut any_sent = false;
+            let mut acc = RoundAccum::default();
             for v in 0..n {
                 outbox.clear();
                 {
@@ -378,65 +545,21 @@ impl<'g> Network<'g> {
                     };
                     nodes[v].on_round(&mut ctx, &inboxes[v]);
                 }
-                if !outbox.is_empty() {
-                    // Enforce neighbor-only delivery and the per-edge cap.
-                    let mut load: Vec<(NodeId, u64)> = Vec::new();
-                    for (to, msg) in outbox.drain(..) {
-                        if !self.graph.has_edge(v, to) {
-                            return Err(RuntimeError::NotANeighbor { round, from: v, to });
-                        }
-                        let bits = msg.size_bits();
-                        let entry = match load.iter_mut().find(|(t, _)| *t == to) {
-                            Some(e) => {
-                                e.1 += bits;
-                                e.1
-                            }
-                            None => {
-                                load.push((to, bits));
-                                bits
-                            }
-                        };
-                        if entry > self.cap_bits {
-                            return Err(RuntimeError::BandwidthExceeded {
-                                round,
-                                from: v,
-                                to,
-                                bits: entry,
-                                cap: self.cap_bits,
-                            });
-                        }
-                        stats.messages += 1;
-                        stats.total_bits += bits;
-                        next_inboxes[to].push((v, msg));
-                        any_sent = true;
-                    }
-                    for (_, bits) in load {
-                        stats.max_edge_bits = stats.max_edge_bits.max(bits);
-                    }
+                if outbox.is_empty() {
+                    continue;
                 }
+                any_sent = true;
+                self.route_sender(v, round, &mut outbox, &mut next_inboxes, &mut router, (&mut stats, &mut acc))?;
             }
             if any_sent {
                 last_active_round = round + 1;
             }
             if let Some(t) = trace.as_deref_mut() {
-                let mut msgs = 0u64;
-                let mut bits = 0u64;
-                let mut busiest: Option<(NodeId, NodeId, u64)> = None;
-                let mut edge_load: std::collections::HashMap<(NodeId, NodeId), u64> =
-                    std::collections::HashMap::new();
-                for (to, inbox) in next_inboxes.iter().enumerate() {
-                    for (from, msg) in inbox {
-                        msgs += 1;
-                        let b = msg.size_bits();
-                        bits += b;
-                        let e = edge_load.entry((*from, to)).or_insert(0);
-                        *e += b;
-                        if busiest.is_none_or(|(_, _, bb)| *e > bb) {
-                            busiest = Some((*from, to, *e));
-                        }
-                    }
-                }
-                t.rounds.push(RoundTrace { messages: msgs, bits, busiest_edge: busiest });
+                t.rounds.push(RoundTrace {
+                    messages: acc.messages,
+                    bits: acc.bits,
+                    busiest_edge: acc.busiest,
+                });
             }
             let in_flight = next_inboxes.iter().any(|b| !b.is_empty());
             if !in_flight && nodes.iter().all(|p| p.is_done()) {
@@ -450,6 +573,232 @@ impl<'g> Network<'g> {
         }
         Err(RuntimeError::RoundLimitExceeded { limit: self.max_rounds })
     }
+
+    /// Run one round's `on_round` calls for a contiguous chunk of nodes
+    /// starting at id `base`, staging validated sends and statistics in
+    /// `lane`. Stops at the chunk's first error, exactly where the
+    /// sequential engine would.
+    fn round_for_chunk<P: NodeProtocol>(
+        &self,
+        round: usize,
+        base: NodeId,
+        chunk: &mut [P],
+        inboxes: &[Vec<(NodeId, P::Msg)>],
+        lane: &mut Lane<P::Msg>,
+    ) {
+        let n = self.graph.n();
+        lane.result = LaneResult::default();
+        for (i, node) in chunk.iter_mut().enumerate() {
+            let v = base + i;
+            lane.outbox.clear();
+            {
+                let mut ctx = Ctx {
+                    me: v,
+                    round,
+                    n,
+                    cap_bits: self.cap_bits,
+                    neighbors: self.graph.neighbors(v),
+                    out: &mut lane.outbox,
+                };
+                node.on_round(&mut ctx, &inboxes[v]);
+            }
+            if lane.outbox.is_empty() {
+                continue;
+            }
+            lane.result.any_sent = true;
+            for (to, msg) in lane.outbox.drain(..) {
+                let Some(rank) = self.graph.neighbor_rank(v, to) else {
+                    lane.result.error = Some(RuntimeError::NotANeighbor { round, from: v, to });
+                    return;
+                };
+                let bits = msg.size_bits();
+                if lane.router.slots[rank] == 0 {
+                    lane.router.touched.push(rank);
+                }
+                lane.router.slots[rank] += bits;
+                if lane.router.slots[rank] > self.cap_bits {
+                    lane.result.error = Some(RuntimeError::BandwidthExceeded {
+                        round,
+                        from: v,
+                        to,
+                        bits: lane.router.slots[rank],
+                        cap: self.cap_bits,
+                    });
+                    return;
+                }
+                lane.result.stats.messages += 1;
+                lane.result.stats.total_bits += bits;
+                lane.sends.push((to, v, msg));
+            }
+            lane.router.flush(
+                v,
+                self.graph.neighbors(v),
+                &mut lane.result.stats,
+                &mut lane.result.acc,
+            );
+        }
+    }
+
+    /// The multi-threaded engine: each round fans the node loop out over
+    /// `threads` scoped workers, one contiguous [`NodeId`] chunk per
+    /// worker, then merges the staged per-lane results in chunk order.
+    ///
+    /// Merging in chunk (= node id) order reproduces the sequential
+    /// engine's inbox ordering, statistics, busiest-edge choice, and first
+    /// error exactly; see `DESIGN.md`, "Engine internals".
+    fn run_parallel_impl<P>(
+        &self,
+        mut nodes: Vec<P>,
+        mut trace: Option<&mut Trace>,
+        threads: usize,
+    ) -> Result<Run<P>, RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let n = self.graph.n();
+        if nodes.len() != n {
+            return Err(RuntimeError::WrongNodeCount { expected: n, got: nodes.len() });
+        }
+        let chunk_len = n.div_ceil(threads);
+        let max_degree = self.graph.max_degree();
+        let mut lanes: Vec<Lane<P::Msg>> = (0..threads)
+            .map(|_| Lane {
+                outbox: Vec::new(),
+                router: Router::new(max_degree),
+                sends: Vec::new(),
+                result: LaneResult::default(),
+            })
+            .collect();
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut stats = RunStats::default();
+        let mut last_active_round = 0usize;
+
+        for round in 0..self.max_rounds {
+            {
+                let inboxes = &inboxes;
+                std::thread::scope(|s| {
+                    for (t, (chunk, lane)) in
+                        nodes.chunks_mut(chunk_len).zip(lanes.iter_mut()).enumerate()
+                    {
+                        s.spawn(move || {
+                            self.round_for_chunk(round, t * chunk_len, chunk, inboxes, lane);
+                        });
+                    }
+                });
+            }
+            // The first error in lane order is the first error in node
+            // order: chunks are contiguous and each lane stops at its own
+            // first error.
+            if let Some(e) = lanes.iter_mut().find_map(|l| l.result.error.take()) {
+                return Err(e);
+            }
+            let mut any_sent = false;
+            let mut acc = RoundAccum::default();
+            for lane in &mut lanes {
+                let r = &lane.result;
+                stats.messages += r.stats.messages;
+                stats.total_bits += r.stats.total_bits;
+                stats.max_edge_bits = stats.max_edge_bits.max(r.stats.max_edge_bits);
+                any_sent |= r.any_sent;
+                // The lane's stats are exactly this round's deltas (the
+                // lane result is reset at the top of each round).
+                acc.messages += r.stats.messages;
+                acc.bits += r.stats.total_bits;
+                if let Some((f, t, b)) = r.acc.busiest {
+                    if acc.busiest.is_none_or(|(_, _, bb)| b > bb) {
+                        acc.busiest = Some((f, t, b));
+                    }
+                }
+                for (to, from, msg) in lane.sends.drain(..) {
+                    next_inboxes[to].push((from, msg));
+                }
+            }
+            if any_sent {
+                last_active_round = round + 1;
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.rounds.push(RoundTrace {
+                    messages: acc.messages,
+                    bits: acc.bits,
+                    busiest_edge: acc.busiest,
+                });
+            }
+            let in_flight = next_inboxes.iter().any(|b| !b.is_empty());
+            if !in_flight && nodes.iter().all(|p| p.is_done()) {
+                stats.rounds = last_active_round;
+                return Ok(Run { nodes, stats });
+            }
+            for v in 0..n {
+                inboxes[v].clear();
+                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
+            }
+        }
+        Err(RuntimeError::RoundLimitExceeded { limit: self.max_rounds })
+    }
+}
+
+/// Rank-indexed per-edge load accounting for one sender at a time.
+///
+/// `slots[r]` is the bits queued this round on the edge to the sender's
+/// rank-`r` neighbor; `touched` lists the dirty ranks so resetting costs
+/// `O(edges used)`, not `O(degree)`. A zero-size message may push its rank
+/// twice, which only makes the flush revisit a slot it already cleared.
+#[derive(Debug)]
+struct Router {
+    slots: Vec<u64>,
+    touched: Vec<usize>,
+}
+
+impl Router {
+    fn new(max_degree: usize) -> Self {
+        Router { slots: vec![0; max_degree], touched: Vec::new() }
+    }
+
+    /// Fold the touched per-edge loads of sender `from` into the run and
+    /// round accumulators, and reset the slots for the next sender.
+    #[inline]
+    fn flush(&mut self, from: NodeId, neighbors: &[NodeId], stats: &mut RunStats, acc: &mut RoundAccum) {
+        for &r in &self.touched {
+            let load = self.slots[r];
+            self.slots[r] = 0;
+            stats.max_edge_bits = stats.max_edge_bits.max(load);
+            if acc.busiest.is_none_or(|(_, _, b)| load > b) {
+                acc.busiest = Some((from, neighbors[r], load));
+            }
+        }
+        self.touched.clear();
+    }
+}
+
+/// Per-round trace accumulator, filled inside the send loop so a traced
+/// run measures each message exactly once.
+#[derive(Debug, Default, Clone, Copy)]
+struct RoundAccum {
+    messages: u64,
+    bits: u64,
+    busiest: Option<(NodeId, NodeId, u64)>,
+}
+
+/// One worker's round output in the parallel engine.
+#[derive(Debug, Default)]
+struct LaneResult {
+    stats: RunStats,
+    acc: RoundAccum,
+    any_sent: bool,
+    error: Option<RuntimeError>,
+}
+
+/// One worker's persistent buffers: reused round after round so the steady
+/// state allocates nothing.
+struct Lane<M> {
+    outbox: Vec<(NodeId, M)>,
+    router: Router,
+    /// Validated `(to, from, msg)` triples in sender order, merged into the
+    /// next round's inboxes by the coordinating thread.
+    sends: Vec<(NodeId, NodeId, M)>,
+    result: LaneResult,
 }
 
 /// A named-phase ledger used by drivers that compose several protocol runs

@@ -1,0 +1,202 @@
+//! The parallel engine's contract: for any protocol, topology, and thread
+//! count, `run`/`run_traced` under `EngineMode::Parallel` produce results
+//! byte-identical to the single-threaded reference engine — statistics,
+//! per-round traces, and the full final node states.
+//!
+//! Node states are compared through their `Debug` rendering, which covers
+//! every field of every protocol without requiring `PartialEq` on them.
+
+use congest::aggregate::{AggregateBatchProtocol, CommOp};
+use congest::bfs::{BfsTreeProtocol, TreeView};
+use congest::generators::{grid, path, random_connected_m, star};
+use congest::graph::Graph;
+use congest::runtime::{EngineMode, Network, NodeProtocol, RuntimeError};
+use congest::tree_comm::{BroadcastRegisterProtocol, Register, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn topologies(seed: u64) -> Vec<(String, Graph)> {
+    vec![
+        ("path(40)".into(), path(40)),
+        ("grid(8x6)".into(), grid(8, 6)),
+        (format!("random(48, seed {seed})"), random_connected_m(48, 96, seed)),
+    ]
+}
+
+/// Run `make()`'s protocol set sequentially and under 2- and 5-thread
+/// parallel engines, asserting identical stats, traces, and node states.
+fn assert_engines_agree<P, F>(label: &str, g: &Graph, make: F)
+where
+    P: NodeProtocol + Send + std::fmt::Debug,
+    P::Msg: Send + Sync,
+    F: Fn(&Network<'_>) -> Vec<P>,
+{
+    let reference = Network::new(g);
+    let (ref_run, ref_trace) =
+        reference.run_sequential_traced(make(&reference)).expect("reference run");
+    let ref_states = format!("{:?}", ref_run.nodes);
+    for threads in [2usize, 5] {
+        let net = Network::new(g).with_engine(EngineMode::Parallel { threads });
+        let (run, trace) = net.run_traced(make(&net)).expect("parallel run");
+        assert_eq!(run.stats, ref_run.stats, "{label}: stats diverged at {threads} threads");
+        assert_eq!(
+            trace.rounds, ref_trace.rounds,
+            "{label}: trace diverged at {threads} threads"
+        );
+        assert_eq!(
+            format!("{:?}", run.nodes),
+            ref_states,
+            "{label}: node states diverged at {threads} threads"
+        );
+    }
+}
+
+fn tree_views(net: &Network<'_>, root: usize) -> Vec<TreeView> {
+    let run = net
+        .run_sequential(BfsTreeProtocol::instances(net.graph().n(), root))
+        .expect("bfs for tree views");
+    run.nodes.iter().map(|p| p.tree_view()).collect()
+}
+
+#[test]
+fn bfs_matches_sequential_everywhere() {
+    for seed in [1u64, 2, 3] {
+        for (name, g) in topologies(seed) {
+            let root = seed as usize % g.n();
+            assert_engines_agree(&format!("bfs/{name}"), &g, |net| {
+                BfsTreeProtocol::instances(net.graph().n(), root)
+            });
+        }
+    }
+}
+
+#[test]
+fn aggregate_matches_sequential_everywhere() {
+    for seed in [1u64, 2, 3] {
+        for (name, g) in topologies(seed) {
+            let views = tree_views(&Network::new(&g), 0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Keep the Sum domain closed: each value below (2^q - 1) / n.
+            let q = 16u64;
+            let lim = ((1u64 << q) - 1) / g.n() as u64;
+            let values: Vec<Vec<u64>> =
+                (0..g.n()).map(|_| (0..4).map(|_| rng.gen_range(0u64..lim)).collect()).collect();
+            assert_engines_agree(&format!("aggregate/{name}"), &g, |net| {
+                AggregateBatchProtocol::instances(
+                    &views,
+                    &values,
+                    q,
+                    CommOp::Sum,
+                    (net.cap_bits() - 1).min(64),
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn tree_comm_matches_sequential_everywhere() {
+    for seed in [1u64, 2, 3] {
+        for (name, g) in topologies(seed) {
+            let views = tree_views(&Network::new(&g), 0);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            let words: Vec<u64> = (0..6).map(|_| rng.gen()).collect();
+            let reg = Register::from_words(words.len() as u64 * 64, words);
+            assert_engines_agree(&format!("tree_comm/{name}"), &g, |net| {
+                BroadcastRegisterProtocol::instances(
+                    &views,
+                    reg.clone(),
+                    (net.cap_bits() - 1).min(64),
+                    Schedule::Pipelined,
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn traced_and_untraced_runs_report_identical_stats() {
+    for (name, g) in topologies(7) {
+        let net = Network::new(&g);
+        let n = g.n();
+        let plain = net.run(BfsTreeProtocol::instances(n, 0)).expect("plain");
+        let (traced, trace) = net.run_traced(BfsTreeProtocol::instances(n, 0)).expect("traced");
+        assert_eq!(plain.stats, traced.stats, "{name}: tracing changed the run statistics");
+        assert_eq!(
+            trace.total_bits(),
+            traced.stats.total_bits,
+            "{name}: trace accounts bits differently than the stats"
+        );
+        assert_eq!(
+            trace.rounds.iter().map(|r| r.messages).sum::<u64>(),
+            traced.stats.messages,
+            "{name}: trace accounts messages differently than the stats"
+        );
+    }
+}
+
+#[test]
+fn parallel_engine_reports_identical_errors() {
+    // A star's hub broadcasting a cap-sized payload twice must fail with
+    // the same first error under every engine.
+    #[derive(Debug)]
+    struct Hog {
+        sent: bool,
+    }
+    #[derive(Clone, Debug)]
+    struct Big(u64);
+    impl congest::runtime::MessageSize for Big {
+        fn size_bits(&self) -> u64 {
+            self.0
+        }
+    }
+    impl NodeProtocol for Hog {
+        type Msg = Big;
+        fn on_round(
+            &mut self,
+            ctx: &mut congest::runtime::Ctx<'_, Big>,
+            _inbox: &[(usize, Big)],
+        ) {
+            if !self.sent {
+                let cap = ctx.cap_bits();
+                for &w in &[ctx.neighbors()[0], ctx.neighbors()[0]] {
+                    ctx.send(w, Big(cap));
+                }
+                self.sent = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+    let g = star(20);
+    let make = || (0..20).map(|_| Hog { sent: false }).collect::<Vec<_>>();
+    let seq_err = Network::new(&g).run_sequential(make()).unwrap_err();
+    assert!(matches!(seq_err, RuntimeError::BandwidthExceeded { .. }));
+    for threads in [2usize, 3, 8] {
+        let par_err = Network::new(&g)
+            .with_engine(EngineMode::Parallel { threads })
+            .run(make())
+            .unwrap_err();
+        assert_eq!(par_err, seq_err, "error diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn auto_mode_thresholds_on_network_size() {
+    // Below the threshold Auto must stay sequential (observable only via
+    // behavior equality — both paths must succeed and agree).
+    let g = path(32);
+    let net = Network::new(&g);
+    assert_eq!(net.engine(), EngineMode::Auto);
+    let a = net.run(BfsTreeProtocol::instances(32, 0)).expect("auto run");
+    let b = net.run_sequential(BfsTreeProtocol::instances(32, 0)).expect("sequential run");
+    assert_eq!(a.stats, b.stats);
+    // Above the threshold Auto may parallelize; results must still agree.
+    let g = path(600);
+    let net = Network::new(&g);
+    let a = net.run(BfsTreeProtocol::instances(600, 0)).expect("auto run large");
+    let b = net.run_sequential(BfsTreeProtocol::instances(600, 0)).expect("sequential large");
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(format!("{:?}", a.nodes), format!("{:?}", b.nodes));
+}

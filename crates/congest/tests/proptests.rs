@@ -151,6 +151,25 @@ proptest! {
     }
 
     #[test]
+    fn neighbor_rank_agrees_with_position_lookup(g in arb_graph(), picks in proptest::collection::vec((0usize..1000, 0usize..1000), 1..20)) {
+        // neighbor_rank must be exactly "position of w in neighbors(v)",
+        // for edges and non-edges alike — it is the index the engine's
+        // zero-alloc router trusts for its per-edge load slots.
+        for v in 0..g.n() {
+            for (r, &w) in g.neighbors(v).iter().enumerate() {
+                prop_assert_eq!(g.neighbor_rank(v, w), Some(r));
+            }
+        }
+        for (a, b) in picks {
+            let v = a % g.n();
+            let w = b % g.n();
+            let expect = g.neighbors(v).iter().position(|&x| x == w);
+            prop_assert_eq!(g.neighbor_rank(v, w), expect, "v={} w={}", v, w);
+            prop_assert_eq!(g.neighbor_rank(v, w).is_some(), g.has_edge(v, w));
+        }
+    }
+
+    #[test]
     fn trees_have_no_cycles(n in 2usize..60, seed in 0u64..300) {
         let g = random_tree(n, seed);
         prop_assert_eq!(g.m(), n - 1);

@@ -1,0 +1,294 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurements are real
+//! wall-clock timings (median over samples of auto-calibrated batches),
+//! printed in criterion's familiar one-line format.
+//!
+//! Machine-readable output: set `CRITERION_JSON_OUT=<path>` and every
+//! completed benchmark appends one JSON object per line
+//! (`{"id": ..., "median_ns": ..., "mean_ns": ..., "samples": ...}`),
+//! which the repo's `BENCH_engine.json` regeneration consumes.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: function name plus an optional parameter tag.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id for a parameter sweep with no function name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The timing loop handed to a benchmark closure.
+pub struct Bencher {
+    /// Number of timed samples to collect.
+    samples: usize,
+    /// Collected per-iteration nanosecond estimates, one per sample.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, automatically batching fast routines.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~25 ms?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
+            as usize;
+        self.sample_ns.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            self.sample_ns.push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+}
+
+fn summarize(id: &str, sample_ns: &[f64]) -> Record {
+    let mut sorted = sample_ns.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = if sorted.is_empty() {
+        0.0
+    } else if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    let mean = if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+    Record { id: id.to_string(), median_ns: median, mean_ns: mean, samples: sorted.len() }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn report(record: &Record) {
+    println!(
+        "{:<52} time: [{}]  (median of {} samples)",
+        record.id,
+        human_time(record.median_ns),
+        record.samples
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}\n",
+                json_escape(&record.id),
+                record.median_ns,
+                record.mean_ns,
+                record.samples
+            );
+            if let Ok(mut f) =
+                std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: DEFAULT_SAMPLES, sample_ns: Vec::new() };
+        f(&mut b);
+        report(&summarize(&id.name, &b.sample_ns));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), samples: DEFAULT_SAMPLES }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut b = Bencher { samples: self.samples, sample_ns: Vec::new() };
+        f(&mut b);
+        report(&summarize(&format!("{}/{}", self.name, id.name), &b.sample_ns));
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Define a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut b = Bencher { samples: 3, sample_ns: Vec::new() };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert_eq!(b.sample_ns.len(), 3);
+        assert!(b.sample_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn summary_median_is_order_insensitive() {
+        let a = summarize("x", &[3.0, 1.0, 2.0]);
+        assert_eq!(a.median_ns, 2.0);
+        assert_eq!(a.samples, 3);
+        let b = summarize("x", &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(b.median_ns, 2.5);
+        assert!((b.mean_ns - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("flood", "n4096").name, "flood/n4096");
+        assert_eq!(BenchmarkId::from_parameter(64).name, "64");
+        assert_eq!(BenchmarkId::from("plain").name, "plain");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_time(2_000_000_000.0).ends_with('s'));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("\n"), "\\u000a");
+    }
+}
