@@ -1,30 +1,57 @@
 //! Regenerate the paper's result tables.
 //!
 //! ```text
-//! reproduce [--quick] [--json FILE] [all | e1 .. e18]...
+//! reproduce [--quick] [--check] [--json FILE] [all | e1 .. e19]...
 //! ```
+//!
+//! `--check` additionally runs the model-conformance sweep — the
+//! differential grid of `{Sequential, Parallel} × {fault-free, faulted}`
+//! audited runs — after the experiments, and exits nonzero if any cell
+//! reports a violation, an engine divergence, or an incorrect outcome.
 
 use dqc_bench::{run_one, Scale};
+
+fn conformance_sweep() -> bool {
+    let cells = dqc_bench::harness::differential_grid(19);
+    let mut ok = true;
+    println!("== conformance sweep: {} differential cells ==", cells.len());
+    for c in &cells {
+        let clean = c.violations == 0 && c.rounds_delta == 0 && c.correct;
+        if !clean {
+            ok = false;
+            println!(
+                "  FAIL {}/{} (faulted={}): {} violations, engine rounds delta {}, correct={}",
+                c.protocol, c.graph, c.faulted, c.violations, c.rounds_delta, c.correct
+            );
+        }
+    }
+    if ok {
+        println!("  all cells conformant: engines agree, zero violations, outcomes correct");
+    }
+    ok
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
+    let mut check = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--json" => json_path = it.next(),
+            "--check" => check = true,
             "--help" | "-h" => {
-                eprintln!("usage: reproduce [--quick] [--json FILE] [all | e1 .. e18]...");
+                eprintln!("usage: reproduce [--quick] [--check] [--json FILE] [all | e1 .. e19]...");
                 return;
             }
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = (1..=18).map(|i| format!("e{i}")).collect();
+        wanted = (1..=19).map(|i| format!("e{i}")).collect();
     }
     let mut tables = Vec::new();
     for id in &wanted {
@@ -40,5 +67,8 @@ fn main() {
         let json = dqc_bench::table::tables_to_json(&tables);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
+    }
+    if check && !conformance_sweep() {
+        std::process::exit(1);
     }
 }

@@ -858,10 +858,11 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e16_bandwidth_ablation(scale),
         e17_boosting(scale),
         e18_extensions(scale),
+        e19_fault_tolerance(scale),
     ]
 }
 
-/// Look up an experiment by id ("e1".."e14", case-insensitive).
+/// Look up an experiment by id ("e1".."e19", case-insensitive).
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1_distribute(scale)),
@@ -882,6 +883,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e16" => Some(e16_bandwidth_ablation(scale)),
         "e17" => Some(e17_boosting(scale)),
         "e18" => Some(e18_extensions(scale)),
+        "e19" => Some(e19_fault_tolerance(scale)),
         _ => None,
     }
 }
@@ -1117,6 +1119,114 @@ pub fn e18_extensions(scale: Scale) -> Table {
         c.rounds.to_string(),
         format!("err={:.0} (≤ε={eps}: {})", (q.estimate - want).abs(), (q.estimate - want).abs() <= eps),
     ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// E19 — fault tolerance: Reliable-wrapped protocols under message loss.
+// ---------------------------------------------------------------------
+
+/// E19: the fault-injection subsystem end to end. Sweep the per-message
+/// drop rate and compare each protocol's fault-free round count against
+/// its `Reliable`-wrapped run under loss; correctness must hold at every
+/// rate and the ack/retry overhead stay bounded. The note records the
+/// conformance/differential sweep: every cell audited under both engines.
+pub fn e19_fault_tolerance(scale: Scale) -> Table {
+    use congest::bfs::BfsTreeProtocol;
+    use congest::conformance::FloodProtocol;
+    use congest::faults::{FaultPlan, Reliable, RetryConfig};
+    use congest::tree_comm::BroadcastRegisterProtocol;
+    use crate::harness::bfs_tree_is_valid;
+
+    let mut t = Table::new(
+        "E19",
+        "Fault tolerance: seeded drops vs the Reliable ack/retry wrapper",
+        "wrapped protocols stay correct at ≥10% loss; overhead = acks + retransmits",
+        &["protocol", "graph", "drop %", "clean rounds", "reliable rounds", "overhead ×", "dropped", "correct"],
+    );
+    let rates: &[f64] = match scale {
+        Scale::Quick => &[0.0, 0.1, 0.2],
+        Scale::Full => &[0.0, 0.05, 0.1, 0.2, 0.3],
+    };
+    let topologies: Vec<(&str, Graph)> =
+        vec![("grid(6x5)", grid(6, 5)), ("random(48)", sized_graph(48, 9))];
+    let retry = RetryConfig::default();
+    // A 48-bit register in 6-bit chunks: a Reliable data frame plus a
+    // piggybacked ack fits the caps of both topologies.
+    let reg = Register::from_value(48, 0x0BAD_CAFE_F00D);
+    let chunk = 6u64;
+    for (gname, g) in &topologies {
+        let clean_net = Network::new(g);
+        let views = congest::bfs::build_bfs_tree(&clean_net, 0).expect("connected").views;
+        let flood_clean = clean_net.run(FloodProtocol::instances(g.n(), 0)).expect("flood");
+        let bfs_clean = clean_net.run(BfsTreeProtocol::instances(g.n(), 0)).expect("bfs");
+        let bcast_clean = clean_net
+            .run(BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined))
+            .expect("broadcast");
+        for &rate in rates {
+            let plan = FaultPlan::new(19).with_drop_rate(rate);
+            let net = Network::new(g).with_faults(plan);
+
+            let run = net
+                .run(Reliable::wrap_all(FloodProtocol::instances(g.n(), 0), retry))
+                .expect("reliable flood");
+            let ok = run.nodes.iter().all(|r| r.inner().has_token);
+            t.row(vec![
+                "flood".into(),
+                gname.to_string(),
+                format!("{:.0}", rate * 100.0),
+                flood_clean.stats.rounds.to_string(),
+                run.stats.rounds.to_string(),
+                fmt_f(run.stats.rounds as f64 / flood_clean.stats.rounds as f64),
+                run.stats.dropped.to_string(),
+                ok.to_string(),
+            ]);
+
+            let run = net
+                .run(Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), retry))
+                .expect("reliable bfs");
+            let outcome: Vec<_> =
+                run.nodes.iter().map(|r| (r.inner().dist(), r.inner().tree_view().parent)).collect();
+            let ok = bfs_tree_is_valid(g, 0, &outcome);
+            t.row(vec![
+                "bfs".into(),
+                gname.to_string(),
+                format!("{:.0}", rate * 100.0),
+                bfs_clean.stats.rounds.to_string(),
+                run.stats.rounds.to_string(),
+                fmt_f(run.stats.rounds as f64 / bfs_clean.stats.rounds as f64),
+                run.stats.dropped.to_string(),
+                ok.to_string(),
+            ]);
+
+            let run = net
+                .run(Reliable::wrap_all(
+                    BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined),
+                    retry,
+                ))
+                .expect("reliable broadcast");
+            let ok = run.nodes.iter().all(|r| r.inner().register() == &reg);
+            t.row(vec![
+                "broadcast".into(),
+                gname.to_string(),
+                format!("{:.0}", rate * 100.0),
+                bcast_clean.stats.rounds.to_string(),
+                run.stats.rounds.to_string(),
+                fmt_f(run.stats.rounds as f64 / bcast_clean.stats.rounds as f64),
+                run.stats.dropped.to_string(),
+                ok.to_string(),
+            ]);
+        }
+    }
+    let cells = crate::harness::differential_grid(19);
+    let violations: usize = cells.iter().map(|c| c.violations).sum();
+    let max_delta = cells.iter().map(|c| c.rounds_delta.abs()).max().unwrap_or(0);
+    let all_correct = cells.iter().all(|c| c.correct);
+    t.note(format!(
+        "differential sweep: {} cells ({{Sequential, Parallel}} × {{fault-free, faulted}}), \
+         {violations} conformance violations, max engine rounds delta {max_delta}, all correct: {all_correct}",
+        cells.len()
+    ));
     t
 }
 

@@ -60,6 +60,152 @@ where
     out.into_iter().map(|o| o.expect("every cell chunk was processed")).collect()
 }
 
+// ---------------------------------------------------------------------
+// Differential runner: {Sequential, Parallel} × {fault-free, faulted}.
+// ---------------------------------------------------------------------
+
+use congest::bfs::BfsTreeProtocol;
+use congest::conformance::{check_protocol, FloodProtocol};
+use congest::faults::{FaultPlan, Reliable, RetryConfig};
+use congest::generators::{grid, path, random_connected_m, star};
+use congest::graph::{Dist, Graph, NodeId};
+use congest::runtime::{EngineMode, Network, NodeProtocol};
+use congest::tree_comm::{BroadcastRegisterProtocol, Register, Schedule};
+
+/// One cell of the differential grid: a protocol on a topology executed
+/// under `{Sequential, Parallel} × {fault-free, faulted}` with full
+/// conformance auditing.
+#[derive(Debug, Clone)]
+pub struct DiffCell {
+    /// Protocol family ("flood", "bfs", "broadcast").
+    pub protocol: String,
+    /// Topology label.
+    pub graph: String,
+    /// Whether a fault plan (drops + delays) was active.
+    pub faulted: bool,
+    /// Measured rounds of the sequential reference run.
+    pub rounds: usize,
+    /// Parallel rounds minus sequential rounds (0 when the engines agree).
+    pub rounds_delta: i64,
+    /// Messages lost to injected faults.
+    pub dropped: u64,
+    /// Conformance violations found (model breaches, accounting
+    /// inconsistencies, engine divergences).
+    pub violations: usize,
+    /// Whether the protocol's own correctness condition held.
+    pub correct: bool,
+}
+
+/// Run one protocol under both engines with conformance auditing and the
+/// protocol's own correctness oracle.
+fn diff_cell<P, F, C>(
+    protocol: &str,
+    graph: &str,
+    faulted: bool,
+    net: &Network<'_>,
+    make: F,
+    ok: C,
+) -> DiffCell
+where
+    P: NodeProtocol + Send + std::fmt::Debug,
+    P::Msg: Send + Sync,
+    F: Fn() -> Vec<P>,
+    C: Fn(&[P]) -> bool,
+{
+    let checked = check_protocol(net, 4, &make)
+        .unwrap_or_else(|e| panic!("{protocol}/{graph} (faulted={faulted}): {e}"));
+    let par = net
+        .clone()
+        .with_engine(EngineMode::Parallel { threads: 4 })
+        .run(make())
+        .unwrap_or_else(|e| panic!("{protocol}/{graph} parallel (faulted={faulted}): {e}"));
+    DiffCell {
+        protocol: protocol.to_string(),
+        graph: graph.to_string(),
+        faulted,
+        rounds: checked.run.stats.rounds,
+        rounds_delta: par.stats.rounds as i64 - checked.run.stats.rounds as i64,
+        dropped: checked.report.stats.dropped,
+        violations: checked.report.violations.len(),
+        correct: ok(&checked.run.nodes),
+    }
+}
+
+/// Whether `(dist, parent)` per node describes a valid spanning tree of
+/// `g` rooted at `root`: the root at distance 0, every other node adopted
+/// by a strictly closer neighbor.
+pub fn bfs_tree_is_valid(g: &Graph, root: NodeId, outcome: &[(Option<Dist>, Option<NodeId>)]) -> bool {
+    if outcome.len() != g.n() || outcome[root] != (Some(0), None) {
+        return false;
+    }
+    outcome.iter().enumerate().all(|(v, &(dist, parent))| {
+        if v == root {
+            return true;
+        }
+        match (dist, parent) {
+            (Some(d), Some(p)) => {
+                g.neighbors(v).contains(&p)
+                    && matches!(outcome[p].0, Some(pd) if pd < d)
+            }
+            _ => false,
+        }
+    })
+}
+
+/// The differential grid: {flood, BFS, broadcast} × four topologies ×
+/// {fault-free, faulted}, every cell audited for conformance and engine
+/// agreement. `seed` drives both the random topology and the fault plans.
+pub fn differential_grid(seed: u64) -> Vec<DiffCell> {
+    let topologies: Vec<(String, Graph)> = vec![
+        ("path(24)".into(), path(24)),
+        ("grid(6x5)".into(), grid(6, 5)),
+        ("star(24)".into(), star(24)),
+        (format!("random(32,{seed})"), random_connected_m(32, 48, seed)),
+    ];
+    let bfs_outcome = |nodes: &[BfsTreeProtocol]| -> Vec<(Option<Dist>, Option<NodeId>)> {
+        nodes.iter().map(|p| (p.dist(), p.tree_view().parent)).collect()
+    };
+    // 48-bit register in 6-bit chunks: small enough that a Reliable frame
+    // (seq header + chunk) plus a piggybacked ack fits every cap here.
+    let reg = Register::from_value(48, 0xBEEF_CAFE_F00D & ((1 << 48) - 1));
+    let chunk = 6u64;
+    let mut cells = Vec::new();
+    for (i, (gname, g)) in topologies.iter().enumerate() {
+        let clean = Network::new(g);
+        let plan = FaultPlan::new(cell_seed(seed, i)).with_drop_rate(0.15).with_delay(0.05, 2);
+        let faulted = Network::new(g).with_faults(plan);
+        let views = congest::bfs::build_bfs_tree(&clean, 0).expect("connected").views;
+
+        cells.push(diff_cell("flood", gname, false, &clean, || {
+            FloodProtocol::instances(g.n(), 0)
+        }, |ns| ns.iter().all(|f| f.has_token)));
+        cells.push(diff_cell("flood", gname, true, &faulted, || {
+            Reliable::wrap_all(FloodProtocol::instances(g.n(), 0), RetryConfig::default())
+        }, |ns| ns.iter().all(|r| r.inner().has_token)));
+
+        cells.push(diff_cell("bfs", gname, false, &clean, || {
+            BfsTreeProtocol::instances(g.n(), 0)
+        }, |ns| bfs_tree_is_valid(g, 0, &bfs_outcome(ns))));
+        cells.push(diff_cell("bfs", gname, true, &faulted, || {
+            Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), RetryConfig::default())
+        }, |ns| {
+            let inner: Vec<_> = ns.iter().map(|r| (r.inner().dist(), r.inner().tree_view().parent)).collect();
+            bfs_tree_is_valid(g, 0, &inner)
+        }));
+
+        cells.push(diff_cell("broadcast", gname, false, &clean, || {
+            BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined)
+        }, |ns| ns.iter().all(|p| p.register() == &reg)));
+        cells.push(diff_cell("broadcast", gname, true, &faulted, || {
+            Reliable::wrap_all(
+                BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined),
+                RetryConfig::default(),
+            )
+        }, |ns| ns.iter().all(|r| r.inner().register() == &reg)));
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +248,40 @@ mod tests {
     fn empty_and_single_inputs() {
         assert!(parallel_cells::<u8, u8, _>(&[], |_, &x| x).is_empty());
         assert_eq!(parallel_cells(&[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn differential_grid_is_clean_and_deterministic() {
+        let cells = differential_grid(5);
+        assert_eq!(cells.len(), 4 * 3 * 2);
+        for c in &cells {
+            assert_eq!(c.violations, 0, "{}/{} (faulted={}) had violations", c.protocol, c.graph, c.faulted);
+            assert_eq!(c.rounds_delta, 0, "{}/{} (faulted={}) engines diverged", c.protocol, c.graph, c.faulted);
+            assert!(c.correct, "{}/{} (faulted={}) incorrect", c.protocol, c.graph, c.faulted);
+            if !c.faulted {
+                assert_eq!(c.dropped, 0, "{}/{}: clean cells cannot drop", c.protocol, c.graph);
+            }
+        }
+        assert!(cells.iter().filter(|c| c.faulted).any(|c| c.dropped > 0));
+        // Replays are byte-identical.
+        let replay = differential_grid(5);
+        let key = |cs: &[DiffCell]| cs.iter().map(|c| (c.rounds, c.dropped)).collect::<Vec<_>>();
+        assert_eq!(key(&cells), key(&replay));
+    }
+
+    #[test]
+    fn bfs_validity_oracle_rejects_broken_trees() {
+        let g = super::path(4);
+        let good = vec![(Some(0), None), (Some(1), Some(0)), (Some(2), Some(1)), (Some(3), Some(2))];
+        assert!(bfs_tree_is_valid(&g, 0, &good));
+        let mut bad = good.clone();
+        bad[2] = (Some(2), Some(0)); // parent is not a neighbor
+        assert!(!bfs_tree_is_valid(&g, 0, &bad));
+        let mut bad = good.clone();
+        bad[3] = (Some(1), Some(2)); // distance does not decrease
+        assert!(!bfs_tree_is_valid(&g, 0, &bad));
+        let mut bad = good;
+        bad[1] = (None, None); // unreached node
+        assert!(!bfs_tree_is_valid(&g, 0, &bad));
     }
 }

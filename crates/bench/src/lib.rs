@@ -2,7 +2,7 @@
 //!
 //! Reproduces every round-complexity result of *"A Framework for
 //! Distributed Quantum Queries in the CONGEST Model"* as a measured table:
-//! see [`experiments`] for the suite (E1–E14) and EXPERIMENTS.md for the
+//! see [`experiments`] for the suite (E1–E19) and EXPERIMENTS.md for the
 //! recorded results. Run `cargo run --release -p dqc-bench --bin reproduce
 //! -- all` to regenerate everything.
 

@@ -162,6 +162,30 @@ impl Graph {
         &self.edges
     }
 
+    /// A deterministic pseudo-random sample of up to `count` distinct edges.
+    ///
+    /// The same `(graph, count, seed)` always yields the same sample in the
+    /// same order — the selection is a partial Fisher–Yates shuffle driven
+    /// by a SplitMix64 stream, with no global RNG involved — so fault plans
+    /// built from it replay identically across engines and processes.
+    pub fn sample_edges(&self, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+        let mut edges = self.edges.clone();
+        let count = count.min(edges.len());
+        let mut state = seed;
+        for i in 0..count {
+            // SplitMix64: advance, then finalize into a well-mixed draw.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let j = i + (z % (edges.len() - i) as u64) as usize;
+            edges.swap(i, j);
+        }
+        edges.truncate(count);
+        edges
+    }
+
     /// Degree of `v`.
     ///
     /// # Panics

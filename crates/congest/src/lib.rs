@@ -16,7 +16,13 @@
 //!   BFS tree (the mechanics of Lemma 7);
 //! * [`aggregate`] — commutative-semigroup convergecast with uncompute
 //!   echoes (the query step of Theorem 8);
-//! * [`clustering`] — `d`-separated low-diameter clustering (Lemma 24).
+//! * [`clustering`] — `d`-separated low-diameter clustering (Lemma 24);
+//! * [`faults`] — deterministic, seeded fault injection (drops, outages,
+//!   degraded links, delays) and the [`Reliable`](faults::Reliable)
+//!   ack/retry wrapper for loss tolerance;
+//! * [`conformance`] — audited runs that report every model-contract
+//!   breach with round/edge provenance, plus a cross-engine differential
+//!   checker.
 //!
 //! Rounds are *measured by execution*, never computed from formulas: every
 //! protocol here is an honest message-passing state machine, and the engine
@@ -43,6 +49,8 @@
 pub mod aggregate;
 pub mod bfs;
 pub mod clustering;
+pub mod conformance;
+pub mod faults;
 pub mod generators;
 pub mod graph;
 pub mod runtime;

@@ -16,7 +16,10 @@
 //! every observable output equals the sequential engine's. See
 //! `DESIGN.md`, "Engine internals".
 
+use crate::conformance::Violation;
+use crate::faults::{Delivery, FaultPlan};
 use crate::graph::{bits_for, Graph, NodeId};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Size accounting for protocol messages.
@@ -48,6 +51,18 @@ pub trait NodeProtocol {
     /// Whether this node has finished its part of the protocol. The run
     /// ends when every node is done and no messages are in flight.
     fn is_done(&self) -> bool;
+
+    /// An error this node wants to abort the run with.
+    ///
+    /// The engine polls every node after each round (in node-id order, so
+    /// the first failing node determines the error deterministically) and
+    /// aborts the run with the reported error. The default never fails;
+    /// wrappers like [`Reliable`](crate::faults::Reliable) use this to
+    /// surface exhausted retry budgets as clean [`RuntimeError`]s instead
+    /// of hanging until the round limit.
+    fn failure(&self) -> Option<RuntimeError> {
+        None
+    }
 }
 
 /// Per-round context handed to a node: identity, topology view, and the
@@ -76,6 +91,20 @@ impl<M> fmt::Debug for Ctx<'_, M> {
 }
 
 impl<'a, M: MessageSize> Ctx<'a, M> {
+    /// Crate-internal constructor for wrappers (e.g.
+    /// [`Reliable`](crate::faults::Reliable)) that run an inner protocol's
+    /// round against their own outbox buffer.
+    pub(crate) fn internal(
+        me: NodeId,
+        round: usize,
+        n: usize,
+        cap_bits: u64,
+        neighbors: &'a [NodeId],
+        out: &'a mut Vec<(NodeId, M)>,
+    ) -> Self {
+        Ctx { me, round, n, cap_bits, neighbors, out }
+    }
+
     /// This node's identifier.
     #[inline]
     pub fn me(&self) -> NodeId {
@@ -102,7 +131,7 @@ impl<'a, M: MessageSize> Ctx<'a, M> {
 
     /// The sorted neighbor list of this node.
     #[inline]
-    pub fn neighbors(&self) -> &[NodeId] {
+    pub fn neighbors(&self) -> &'a [NodeId] {
         self.neighbors
     }
 
@@ -158,6 +187,9 @@ pub enum RuntimeError {
     RoundLimitExceeded { limit: usize },
     /// The number of protocol instances does not match the node count.
     WrongNodeCount { expected: usize, got: usize },
+    /// A [`Reliable`](crate::faults::Reliable) link exhausted its
+    /// retransmission budget without receiving an acknowledgement.
+    RetryBudgetExhausted { round: usize, from: NodeId, to: NodeId, attempts: u32 },
 }
 
 impl fmt::Display for RuntimeError {
@@ -176,6 +208,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::WrongNodeCount { expected, got } => {
                 write!(f, "expected {expected} protocol instances, got {got}")
             }
+            RuntimeError::RetryBudgetExhausted { round, from, to, attempts } => write!(
+                f,
+                "round {round}: link {from}->{to} gave up after {attempts} unacknowledged attempts"
+            ),
         }
     }
 }
@@ -188,12 +224,18 @@ pub struct RunStats {
     /// Number of communication rounds used (index of the last round in
     /// which any message was in flight, plus one).
     pub rounds: usize,
-    /// Total number of messages delivered.
+    /// Total number of messages delivered (immediately or after an
+    /// injected delay; dropped messages are not counted here).
     pub messages: u64,
     /// Total (qu)bits delivered.
     pub total_bits: u64,
-    /// The largest per-edge per-round load observed, in (qu)bits.
+    /// The largest per-edge per-round load observed, in (qu)bits. Counts
+    /// *offered* traffic — messages a fault plan later dropped still loaded
+    /// the edge when they were sent.
     pub max_edge_bits: u64,
+    /// Messages lost to fault injection (drops, link-down intervals, and
+    /// degraded-cap overflow). Always 0 without a fault plan.
+    pub dropped: u64,
 }
 
 impl RunStats {
@@ -203,6 +245,7 @@ impl RunStats {
         self.messages += other.messages;
         self.total_bits += other.total_bits;
         self.max_edge_bits = self.max_edge_bits.max(other.max_edge_bits);
+        self.dropped += other.dropped;
     }
 }
 
@@ -218,12 +261,16 @@ pub struct Run<P> {
 /// Per-round record of a traced run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundTrace {
-    /// Messages delivered at the start of the next round.
+    /// Messages sent this round that will be delivered (possibly late,
+    /// under a delaying fault plan).
     pub messages: u64,
-    /// Total (qu)bits in flight.
+    /// Total (qu)bits in those messages.
     pub bits: u64,
-    /// The most loaded directed edge `(from, to, bits)` this round.
+    /// The most loaded directed edge `(from, to, bits)` this round, by
+    /// offered traffic.
     pub busiest_edge: Option<(NodeId, NodeId, u64)>,
+    /// Messages sent this round that fault injection discarded.
+    pub dropped: u64,
 }
 
 /// A per-round congestion trace produced by [`Network::run_traced`].
@@ -326,6 +373,7 @@ pub struct Network<'g> {
     cap_bits: u64,
     max_rounds: usize,
     engine: EngineMode,
+    faults: Option<FaultPlan>,
 }
 
 /// Default bandwidth multiplier: each link carries up to
@@ -340,7 +388,13 @@ impl<'g> Network<'g> {
     /// (`4⌈log₂ n⌉` bits) and a generous round limit.
     pub fn new(graph: &'g Graph) -> Self {
         let cap = DEFAULT_BANDWIDTH_FACTOR * bits_for(graph.n().saturating_sub(1) as u64);
-        Network { graph, cap_bits: cap, max_rounds: 1_000_000, engine: EngineMode::Auto }
+        Network {
+            graph,
+            cap_bits: cap,
+            max_rounds: 1_000_000,
+            engine: EngineMode::Auto,
+            faults: None,
+        }
     }
 
     /// Override the per-edge per-round bandwidth cap.
@@ -369,6 +423,20 @@ impl<'g> Network<'g> {
     /// The configured execution mode.
     pub fn engine(&self) -> EngineMode {
         self.engine
+    }
+
+    /// Attach a deterministic fault plan; subsequent runs inject its drops,
+    /// outages, degradations, and delays at delivery time. See
+    /// [`faults`](crate::faults) for the semantics and the determinism
+    /// contract.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The worker count a run over `n_nodes` nodes would use right now.
@@ -415,8 +483,8 @@ impl<'g> Network<'g> {
         P::Msg: Send + Sync,
     {
         match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, None),
-            threads => self.run_parallel_impl(nodes, None, threads),
+            1 => self.run_impl(nodes, None, None),
+            threads => self.run_parallel_impl(nodes, None, None, threads),
         }
     }
 
@@ -434,11 +502,45 @@ impl<'g> Network<'g> {
     {
         let mut trace = Trace::default();
         let run = match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, Some(&mut trace))?,
-            threads => self.run_parallel_impl(nodes, Some(&mut trace), threads)?,
+            1 => self.run_impl(nodes, Some(&mut trace), None)?,
+            threads => self.run_parallel_impl(nodes, Some(&mut trace), None, threads)?,
         };
         trace.rounds.truncate(run.stats.rounds);
         Ok((run, trace))
+    }
+
+    /// Like [`run_traced`](Self::run_traced), but in *audit mode*: model
+    /// breaches (bandwidth-cap overflow, non-neighbor sends) are recorded
+    /// as [`Violation`]s with round/edge provenance instead of aborting the
+    /// run, and every breach is reported rather than just the first.
+    ///
+    /// Audited cap overflows still deliver their message; audited
+    /// non-neighbor sends are discarded (there is no edge to carry them).
+    /// This is the substrate of [`conformance`](crate::conformance).
+    ///
+    /// # Errors
+    ///
+    /// Only hard failures error here: wrong node count, round-limit
+    /// exhaustion, and protocol-reported failures such as
+    /// [`RetryBudgetExhausted`](RuntimeError::RetryBudgetExhausted).
+    pub fn run_audited<P>(
+        &self,
+        nodes: Vec<P>,
+    ) -> Result<(Run<P>, Trace, Vec<Violation>), RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let mut trace = Trace::default();
+        let mut violations = Vec::new();
+        let run = match self.effective_threads(nodes.len()) {
+            1 => self.run_impl(nodes, Some(&mut trace), Some(&mut violations))?,
+            threads => {
+                self.run_parallel_impl(nodes, Some(&mut trace), Some(&mut violations), threads)?
+            }
+        };
+        trace.rounds.truncate(run.stats.rounds);
+        Ok((run, trace, violations))
     }
 
     /// [`run`](Self::run) on the single-threaded engine, regardless of the
@@ -450,7 +552,7 @@ impl<'g> Network<'g> {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_sequential<P: NodeProtocol>(&self, nodes: Vec<P>) -> Result<Run<P>, RuntimeError> {
-        self.run_impl(nodes, None)
+        self.run_impl(nodes, None, None)
     }
 
     /// [`run_traced`](Self::run_traced) on the single-threaded engine.
@@ -463,7 +565,7 @@ impl<'g> Network<'g> {
         nodes: Vec<P>,
     ) -> Result<(Run<P>, Trace), RuntimeError> {
         let mut trace = Trace::default();
-        let run = self.run_impl(nodes, Some(&mut trace))?;
+        let run = self.run_impl(nodes, Some(&mut trace), None)?;
         trace.rounds.truncate(run.stats.rounds);
         Ok((run, trace))
     }
@@ -476,18 +578,27 @@ impl<'g> Network<'g> {
     /// and only the touched slots are flushed and reset, so routing cost is
     /// proportional to traffic rather than to the sender's degree.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // internal hot path; grouping into a struct buys nothing
     fn route_sender<M: MessageSize>(
         &self,
         from: NodeId,
         round: usize,
         outbox: &mut Vec<(NodeId, M)>,
         next_inboxes: &mut [Vec<(NodeId, M)>],
+        wheel: &mut DelayWheel<M>,
         router: &mut Router,
         (stats, acc): (&mut RunStats, &mut RoundAccum),
+        mut audit: Option<&mut Vec<Violation>>,
     ) -> Result<(), RuntimeError> {
-        for (to, msg) in outbox.drain(..) {
+        for (idx, (to, msg)) in outbox.drain(..).enumerate() {
             let Some(rank) = self.graph.neighbor_rank(from, to) else {
-                return Err(RuntimeError::NotANeighbor { round, from, to });
+                match audit.as_deref_mut() {
+                    Some(v) => {
+                        v.push(Violation::NonNeighborSend { round, from, to });
+                        continue; // no edge exists to carry the message
+                    }
+                    None => return Err(RuntimeError::NotANeighbor { round, from, to }),
+                }
             };
             let bits = msg.size_bits();
             if router.slots[rank] == 0 {
@@ -495,19 +606,58 @@ impl<'g> Network<'g> {
             }
             router.slots[rank] += bits;
             if router.slots[rank] > self.cap_bits {
-                return Err(RuntimeError::BandwidthExceeded {
-                    round,
-                    from,
-                    to,
-                    bits: router.slots[rank],
-                    cap: self.cap_bits,
-                });
+                match audit.as_deref_mut() {
+                    Some(v) => v.push(Violation::CapExceeded {
+                        round,
+                        from,
+                        to,
+                        bits: router.slots[rank],
+                        cap: self.cap_bits,
+                    }),
+                    None => {
+                        return Err(RuntimeError::BandwidthExceeded {
+                            round,
+                            from,
+                            to,
+                            bits: router.slots[rank],
+                            cap: self.cap_bits,
+                        })
+                    }
+                }
+            }
+            // Model validation passed (or was audited); now the fault plan
+            // decides the message's fate. Dropped messages still loaded the
+            // edge above — only delivery accounting skips them.
+            let mut delay = 0usize;
+            if let Some(plan) = &self.faults {
+                // Outages and tail-drops beyond a degraded cap both lose
+                // the message; otherwise the seeded hash decides.
+                let verdict = if plan.link_is_down(round, from, to)
+                    || plan.degraded_cap(from, to).is_some_and(|c| router.slots[rank] > c)
+                {
+                    Delivery::Drop
+                } else {
+                    plan.decide(round, from, to, idx)
+                };
+                match verdict {
+                    Delivery::Drop => {
+                        stats.dropped += 1;
+                        acc.dropped += 1;
+                        continue;
+                    }
+                    Delivery::Delay(d) => delay = d,
+                    Delivery::Deliver => {}
+                }
             }
             stats.messages += 1;
             stats.total_bits += bits;
             acc.messages += 1;
             acc.bits += bits;
-            next_inboxes[to].push((from, msg));
+            if delay == 0 {
+                next_inboxes[to].push((from, msg));
+            } else {
+                wheel.schedule(delay, to, from, msg);
+            }
         }
         router.flush(from, self.graph.neighbors(from), stats, acc);
         Ok(())
@@ -517,6 +667,7 @@ impl<'g> Network<'g> {
         &self,
         mut nodes: Vec<P>,
         mut trace: Option<&mut Trace>,
+        mut audit: Option<&mut Vec<Violation>>,
     ) -> Result<Run<P>, RuntimeError> {
         let n = self.graph.n();
         if nodes.len() != n {
@@ -527,6 +678,7 @@ impl<'g> Network<'g> {
         let mut stats = RunStats::default();
         let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
         let mut router = Router::new(self.graph.max_degree());
+        let mut wheel = DelayWheel::new();
         let mut last_active_round = 0usize;
 
         for round in 0..self.max_rounds {
@@ -549,7 +701,19 @@ impl<'g> Network<'g> {
                     continue;
                 }
                 any_sent = true;
-                self.route_sender(v, round, &mut outbox, &mut next_inboxes, &mut router, (&mut stats, &mut acc))?;
+                self.route_sender(
+                    v,
+                    round,
+                    &mut outbox,
+                    &mut next_inboxes,
+                    &mut wheel,
+                    &mut router,
+                    (&mut stats, &mut acc),
+                    audit.as_deref_mut(),
+                )?;
+            }
+            if let Some(e) = nodes.iter().find_map(|p| p.failure()) {
+                return Err(e);
             }
             if any_sent {
                 last_active_round = round + 1;
@@ -559,9 +723,16 @@ impl<'g> Network<'g> {
                     messages: acc.messages,
                     bits: acc.bits,
                     busiest_edge: acc.busiest,
+                    dropped: acc.dropped,
                 });
             }
-            let in_flight = next_inboxes.iter().any(|b| !b.is_empty());
+            // Delayed messages that matured this round arrive with the next
+            // round's inboxes, after every regular send; like a regular
+            // send, a matured delivery keeps the run active.
+            if wheel.pop_due(&mut next_inboxes) {
+                last_active_round = round + 1;
+            }
+            let in_flight = next_inboxes.iter().any(|b| !b.is_empty()) || !wheel.is_empty();
             if !in_flight && nodes.iter().all(|p| p.is_done()) {
                 stats.rounds = last_active_round;
                 return Ok(Run { nodes, stats });
@@ -585,6 +756,7 @@ impl<'g> Network<'g> {
         chunk: &mut [P],
         inboxes: &[Vec<(NodeId, P::Msg)>],
         lane: &mut Lane<P::Msg>,
+        audit: bool,
     ) {
         let n = self.graph.n();
         lane.result = LaneResult::default();
@@ -606,8 +778,16 @@ impl<'g> Network<'g> {
                 continue;
             }
             lane.result.any_sent = true;
-            for (to, msg) in lane.outbox.drain(..) {
+            for (idx, (to, msg)) in lane.outbox.drain(..).enumerate() {
                 let Some(rank) = self.graph.neighbor_rank(v, to) else {
+                    if audit {
+                        lane.result.violations.push(Violation::NonNeighborSend {
+                            round,
+                            from: v,
+                            to,
+                        });
+                        continue;
+                    }
                     lane.result.error = Some(RuntimeError::NotANeighbor { round, from: v, to });
                     return;
                 };
@@ -617,18 +797,49 @@ impl<'g> Network<'g> {
                 }
                 lane.router.slots[rank] += bits;
                 if lane.router.slots[rank] > self.cap_bits {
-                    lane.result.error = Some(RuntimeError::BandwidthExceeded {
-                        round,
-                        from: v,
-                        to,
-                        bits: lane.router.slots[rank],
-                        cap: self.cap_bits,
-                    });
-                    return;
+                    if audit {
+                        lane.result.violations.push(Violation::CapExceeded {
+                            round,
+                            from: v,
+                            to,
+                            bits: lane.router.slots[rank],
+                            cap: self.cap_bits,
+                        });
+                    } else {
+                        lane.result.error = Some(RuntimeError::BandwidthExceeded {
+                            round,
+                            from: v,
+                            to,
+                            bits: lane.router.slots[rank],
+                            cap: self.cap_bits,
+                        });
+                        return;
+                    }
+                }
+                let mut delay = 0u32;
+                if let Some(plan) = &self.faults {
+                    let verdict = if plan.link_is_down(round, v, to)
+                        || plan
+                            .degraded_cap(v, to)
+                            .is_some_and(|c| lane.router.slots[rank] > c)
+                    {
+                        Delivery::Drop
+                    } else {
+                        plan.decide(round, v, to, idx)
+                    };
+                    match verdict {
+                        Delivery::Drop => {
+                            lane.result.stats.dropped += 1;
+                            lane.result.acc.dropped += 1;
+                            continue;
+                        }
+                        Delivery::Delay(d) => delay = d as u32,
+                        Delivery::Deliver => {}
+                    }
                 }
                 lane.result.stats.messages += 1;
                 lane.result.stats.total_bits += bits;
-                lane.sends.push((to, v, msg));
+                lane.sends.push((to, v, delay, msg));
             }
             lane.router.flush(
                 v,
@@ -650,6 +861,7 @@ impl<'g> Network<'g> {
         &self,
         mut nodes: Vec<P>,
         mut trace: Option<&mut Trace>,
+        mut audit: Option<&mut Vec<Violation>>,
         threads: usize,
     ) -> Result<Run<P>, RuntimeError>
     where
@@ -662,6 +874,7 @@ impl<'g> Network<'g> {
         }
         let chunk_len = n.div_ceil(threads);
         let max_degree = self.graph.max_degree();
+        let auditing = audit.is_some();
         let mut lanes: Vec<Lane<P::Msg>> = (0..threads)
             .map(|_| Lane {
                 outbox: Vec::new(),
@@ -673,6 +886,7 @@ impl<'g> Network<'g> {
         let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
         let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
         let mut stats = RunStats::default();
+        let mut wheel = DelayWheel::new();
         let mut last_active_round = 0usize;
 
         for round in 0..self.max_rounds {
@@ -683,7 +897,14 @@ impl<'g> Network<'g> {
                         nodes.chunks_mut(chunk_len).zip(lanes.iter_mut()).enumerate()
                     {
                         s.spawn(move || {
-                            self.round_for_chunk(round, t * chunk_len, chunk, inboxes, lane);
+                            self.round_for_chunk(
+                                round,
+                                t * chunk_len,
+                                chunk,
+                                inboxes,
+                                lane,
+                                auditing,
+                            );
                         });
                     }
                 });
@@ -701,19 +922,31 @@ impl<'g> Network<'g> {
                 stats.messages += r.stats.messages;
                 stats.total_bits += r.stats.total_bits;
                 stats.max_edge_bits = stats.max_edge_bits.max(r.stats.max_edge_bits);
+                stats.dropped += r.stats.dropped;
                 any_sent |= r.any_sent;
                 // The lane's stats are exactly this round's deltas (the
                 // lane result is reset at the top of each round).
                 acc.messages += r.stats.messages;
                 acc.bits += r.stats.total_bits;
+                acc.dropped += r.stats.dropped;
                 if let Some((f, t, b)) = r.acc.busiest {
                     if acc.busiest.is_none_or(|(_, _, bb)| b > bb) {
                         acc.busiest = Some((f, t, b));
                     }
                 }
-                for (to, from, msg) in lane.sends.drain(..) {
-                    next_inboxes[to].push((from, msg));
+                if let Some(sink) = audit.as_deref_mut() {
+                    sink.append(&mut lane.result.violations);
                 }
+                for (to, from, delay, msg) in lane.sends.drain(..) {
+                    if delay == 0 {
+                        next_inboxes[to].push((from, msg));
+                    } else {
+                        wheel.schedule(delay as usize, to, from, msg);
+                    }
+                }
+            }
+            if let Some(e) = nodes.iter().find_map(|p| p.failure()) {
+                return Err(e);
             }
             if any_sent {
                 last_active_round = round + 1;
@@ -723,9 +956,13 @@ impl<'g> Network<'g> {
                     messages: acc.messages,
                     bits: acc.bits,
                     busiest_edge: acc.busiest,
+                    dropped: acc.dropped,
                 });
             }
-            let in_flight = next_inboxes.iter().any(|b| !b.is_empty());
+            if wheel.pop_due(&mut next_inboxes) {
+                last_active_round = round + 1;
+            }
+            let in_flight = next_inboxes.iter().any(|b| !b.is_empty()) || !wheel.is_empty();
             if !in_flight && nodes.iter().all(|p| p.is_done()) {
                 stats.rounds = last_active_round;
                 return Ok(Run { nodes, stats });
@@ -779,6 +1016,7 @@ struct RoundAccum {
     messages: u64,
     bits: u64,
     busiest: Option<(NodeId, NodeId, u64)>,
+    dropped: u64,
 }
 
 /// One worker's round output in the parallel engine.
@@ -788,6 +1026,9 @@ struct LaneResult {
     acc: RoundAccum,
     any_sent: bool,
     error: Option<RuntimeError>,
+    /// Audit-mode findings, in this lane's node order; the coordinator
+    /// concatenates lanes in chunk order, reproducing sequential order.
+    violations: Vec<Violation>,
 }
 
 /// One worker's persistent buffers: reused round after round so the steady
@@ -795,10 +1036,55 @@ struct LaneResult {
 struct Lane<M> {
     outbox: Vec<(NodeId, M)>,
     router: Router,
-    /// Validated `(to, from, msg)` triples in sender order, merged into the
-    /// next round's inboxes by the coordinating thread.
-    sends: Vec<(NodeId, NodeId, M)>,
+    /// Validated `(to, from, delay, msg)` tuples in sender order, merged
+    /// into the next round's inboxes (or the delay wheel) by the
+    /// coordinating thread. `delay == 0` means normal next-round delivery.
+    sends: Vec<(NodeId, NodeId, u32, M)>,
     result: LaneResult,
+}
+
+/// Future deliveries scheduled by a delaying fault plan.
+///
+/// Slot `d` holds the messages that mature `d` round boundaries from now:
+/// at the end of each round the front slot is appended (in scheduling
+/// order) to the next round's inboxes, after all regular sends. Scheduling
+/// order is sender order within a round and round order across rounds, so
+/// both engines produce the same arrival order.
+#[derive(Debug)]
+struct DelayWheel<M> {
+    slots: VecDeque<Vec<(NodeId, NodeId, M)>>,
+}
+
+impl<M> DelayWheel<M> {
+    fn new() -> Self {
+        DelayWheel { slots: VecDeque::new() }
+    }
+
+    /// Schedule `msg` to arrive `delay` rounds later than normal delivery.
+    fn schedule(&mut self, delay: usize, to: NodeId, from: NodeId, msg: M) {
+        while self.slots.len() <= delay {
+            self.slots.push_back(Vec::new());
+        }
+        self.slots[delay].push((to, from, msg));
+    }
+
+    /// Move the messages that mature at this round boundary into
+    /// `next_inboxes`; returns whether anything was delivered.
+    fn pop_due(&mut self, next_inboxes: &mut [Vec<(NodeId, M)>]) -> bool {
+        match self.slots.pop_front() {
+            Some(due) if !due.is_empty() => {
+                for (to, from, msg) in due {
+                    next_inboxes[to].push((from, msg));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(Vec::is_empty)
+    }
 }
 
 /// A named-phase ledger used by drivers that compose several protocol runs
@@ -1105,8 +1391,14 @@ mod tests {
     #[test]
     fn ledger_accumulates() {
         let mut ledger = RoundLedger::new();
-        ledger.record("a", RunStats { rounds: 3, messages: 5, total_bits: 50, max_edge_bits: 10 });
-        ledger.record("a2", RunStats { rounds: 4, messages: 1, total_bits: 8, max_edge_bits: 8 });
+        ledger.record(
+            "a",
+            RunStats { rounds: 3, messages: 5, total_bits: 50, max_edge_bits: 10, dropped: 0 },
+        );
+        ledger.record(
+            "a2",
+            RunStats { rounds: 4, messages: 1, total_bits: 8, max_edge_bits: 8, dropped: 0 },
+        );
         ledger.record("b", RunStats { rounds: 2, ..Default::default() });
         assert_eq!(ledger.total_rounds(), 9);
         assert_eq!(ledger.rounds_for("a"), 7);

@@ -1,0 +1,162 @@
+//! The conformance checker against deliberately broken protocols: a
+//! cap-violating hog and a cross-non-edge sender must each be caught with
+//! full round/edge provenance, while honest protocols report clean.
+
+use congest::conformance::{check_protocol, FloodProtocol, Violation};
+use congest::faults::{FaultPlan, Reliable, RetryConfig};
+use congest::generators::{grid, path, star};
+use congest::runtime::{Ctx, MessageSize, Network, NodeProtocol};
+
+#[derive(Clone, Debug)]
+struct Payload(u64);
+
+impl MessageSize for Payload {
+    fn size_bits(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Sends `cap + 2` bits to its first neighbor in round 1 — a deliberate
+/// bandwidth violation with known provenance.
+#[derive(Debug)]
+struct CapHog {
+    done: bool,
+}
+
+impl NodeProtocol for CapHog {
+    type Msg = Payload;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Payload>, _inbox: &[(usize, Payload)]) {
+        if ctx.me() == 0 && ctx.round() == 1 {
+            let cap = ctx.cap_bits();
+            ctx.send(ctx.neighbors()[0], Payload(cap + 2));
+            self.done = true;
+        }
+        if ctx.round() >= 1 {
+            self.done = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Node 0 addresses the far end of a path — a deliberate non-edge send.
+#[derive(Debug)]
+struct CrossSender {
+    n: usize,
+    done: bool,
+}
+
+impl NodeProtocol for CrossSender {
+    type Msg = Payload;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Payload>, _inbox: &[(usize, Payload)]) {
+        if ctx.me() == 0 && ctx.round() == 2 {
+            ctx.send(self.n - 1, Payload(1));
+        }
+        if ctx.round() >= 2 {
+            self.done = true;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[test]
+fn cap_violation_caught_with_round_and_edge_provenance() {
+    let g = star(6);
+    let net = Network::new(&g);
+    let cap = net.cap_bits();
+    let checked =
+        check_protocol(&net, 3, || (0..6).map(|_| CapHog { done: false }).collect()).expect("run");
+    assert!(!checked.report.is_clean());
+    // Star center is node 0; its first neighbor is node 1.
+    assert!(
+        checked
+            .report
+            .violations
+            .contains(&Violation::CapExceeded { round: 1, from: 0, to: 1, bits: cap + 2, cap }),
+        "missing the expected provenance: {}",
+        checked.report.render()
+    );
+    // No engine divergence: both engines audit identically.
+    assert!(!checked
+        .report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::EngineDivergence { .. })));
+}
+
+#[test]
+fn cross_non_edge_send_caught_with_provenance() {
+    let n = 7;
+    let g = path(n);
+    let net = Network::new(&g);
+    let checked = check_protocol(&net, 2, || {
+        (0..n).map(|_| CrossSender { n, done: false }).collect()
+    })
+    .expect("run");
+    assert!(
+        checked
+            .report
+            .violations
+            .contains(&Violation::NonNeighborSend { round: 2, from: 0, to: n - 1 }),
+        "missing the expected provenance: {}",
+        checked.report.render()
+    );
+    // The render carries the provenance for humans too.
+    assert!(checked.report.render().contains("round 2: node 0 sent to non-neighbor 6"));
+}
+
+#[test]
+fn audited_run_reports_every_breach_not_just_the_first() {
+    // Three hogs on a star: each over-sends once; audit mode must record
+    // all of them where the plain engine stops at the first.
+    #[derive(Debug)]
+    struct MultiHog {
+        done: bool,
+    }
+    impl NodeProtocol for MultiHog {
+        type Msg = Payload;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Payload>, _inbox: &[(usize, Payload)]) {
+            if ctx.me() >= 1 && ctx.me() <= 3 && ctx.round() == 0 {
+                ctx.send(0, Payload(ctx.cap_bits() + 1));
+            }
+            self.done = true;
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+    let g = star(8);
+    let net = Network::new(&g);
+    let (_, _, violations) = net
+        .run_audited((0..8).map(|_| MultiHog { done: false }).collect::<Vec<_>>())
+        .expect("audited run");
+    let caps = violations
+        .iter()
+        .filter(|v| matches!(v, Violation::CapExceeded { .. }))
+        .count();
+    assert_eq!(caps, 3, "expected one violation per hog: {violations:?}");
+    // Plain mode errors instead.
+    let err = net
+        .run((0..8).map(|_| MultiHog { done: false }).collect::<Vec<_>>())
+        .expect_err("plain engine aborts");
+    assert!(matches!(err, congest::runtime::RuntimeError::BandwidthExceeded { from: 1, .. }));
+}
+
+#[test]
+fn honest_protocols_are_clean_even_under_faults() {
+    let g = grid(5, 4);
+    let plan = FaultPlan::new(8).with_drop_rate(0.15).with_delay(0.1, 2);
+    let net = Network::new(&g).with_faults(plan);
+    let checked = check_protocol(&net, 4, || {
+        Reliable::wrap_all(FloodProtocol::instances(g.n(), 0), RetryConfig::default())
+    })
+    .expect("faulted reliable flood");
+    // Injected faults are not model violations: the run stays conformant,
+    // the protocol stays correct, and the loss shows up only in `dropped`.
+    assert!(checked.report.is_clean(), "{}", checked.report.render());
+    assert!(checked.report.stats.dropped > 0);
+    assert!(checked.run.nodes.iter().all(|r| r.inner().has_token));
+}

@@ -24,19 +24,20 @@ fn topologies(seed: u64) -> Vec<(String, Graph)> {
 }
 
 /// Run `make()`'s protocol set sequentially and under 2- and 5-thread
-/// parallel engines, asserting identical stats, traces, and node states.
-fn assert_engines_agree<P, F>(label: &str, g: &Graph, make: F)
+/// parallel engines on copies of `base` (keeping its bandwidth, limits,
+/// and fault plan), asserting identical stats, traces, and node states.
+fn assert_engines_agree_on<P, F>(label: &str, base: &Network<'_>, make: F)
 where
     P: NodeProtocol + Send + std::fmt::Debug,
     P::Msg: Send + Sync,
     F: Fn(&Network<'_>) -> Vec<P>,
 {
-    let reference = Network::new(g);
+    let reference = base.clone().with_engine(EngineMode::Sequential);
     let (ref_run, ref_trace) =
         reference.run_sequential_traced(make(&reference)).expect("reference run");
     let ref_states = format!("{:?}", ref_run.nodes);
     for threads in [2usize, 5] {
-        let net = Network::new(g).with_engine(EngineMode::Parallel { threads });
+        let net = base.clone().with_engine(EngineMode::Parallel { threads });
         let (run, trace) = net.run_traced(make(&net)).expect("parallel run");
         assert_eq!(run.stats, ref_run.stats, "{label}: stats diverged at {threads} threads");
         assert_eq!(
@@ -49,6 +50,16 @@ where
             "{label}: node states diverged at {threads} threads"
         );
     }
+}
+
+/// [`assert_engines_agree_on`] over a default fault-free network.
+fn assert_engines_agree<P, F>(label: &str, g: &Graph, make: F)
+where
+    P: NodeProtocol + Send + std::fmt::Debug,
+    P::Msg: Send + Sync,
+    F: Fn(&Network<'_>) -> Vec<P>,
+{
+    assert_engines_agree_on(label, &Network::new(g), make);
 }
 
 fn tree_views(net: &Network<'_>, root: usize) -> Vec<TreeView> {
@@ -179,6 +190,140 @@ fn parallel_engine_reports_identical_errors() {
             .run(make())
             .unwrap_err();
         assert_eq!(par_err, seq_err, "error diverged at {threads} threads");
+    }
+}
+
+/// The differential proptest of the two engines: random connected
+/// topologies (path/grid/star/random, up to ~256 nodes) crossed with the
+/// four protocol families must yield bit-identical stats, traces, and node
+/// states under `Sequential` vs `Parallel` — with and without a fault
+/// plan.
+mod differential {
+    use super::*;
+    use congest::conformance::FloodProtocol;
+    use congest::faults::{FaultPlan, Reliable, RetryConfig};
+    use congest::generators::random_tree;
+    use proptest::prelude::*;
+
+    /// Random connected topologies: paths, grids, stars, random graphs, and
+    /// random trees, up to ~256 nodes.
+    fn arb_topology() -> impl Strategy<Value = (String, Graph)> {
+        ((0usize..5), (0usize..1000), (0u64..1000)).prop_map(|(family, size, seed)| {
+            match family {
+                0 => {
+                    let n = 8 + size % 249;
+                    (format!("path({n})"), path(n))
+                }
+                1 => {
+                    let (w, h) = (2 + size % 15, 2 + seed as usize % 15);
+                    (format!("grid({w}x{h})"), grid(w, h))
+                }
+                2 => {
+                    let n = 8 + size % 249;
+                    (format!("star({n})"), star(n))
+                }
+                3 => {
+                    let n = 16 + size % 177;
+                    (format!("random({n},{seed})"), random_connected_m(n, n + n / 2, seed))
+                }
+                _ => {
+                    let n = 8 + size % 121;
+                    (format!("tree({n},{seed})"), random_tree(n, seed))
+                }
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn flood_agrees(topo in arb_topology(), pick in 0usize..1000) {
+            let (name, g) = topo;
+            let origin = pick % g.n();
+            assert_engines_agree(&format!("flood/{name}"), &g, |net| {
+                FloodProtocol::instances(net.graph().n(), origin)
+            });
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn bfs_agrees(topo in arb_topology(), pick in 0usize..1000) {
+            let (name, g) = topo;
+            let root = pick % g.n();
+            assert_engines_agree(&format!("bfs/{name}"), &g, |net| {
+                BfsTreeProtocol::instances(net.graph().n(), root)
+            });
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn broadcast_agrees(topo in arb_topology(), seed in 0u64..1000) {
+            let (name, g) = topo;
+            let views = tree_views(&Network::new(&g), 0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let words: Vec<u64> = (0..4).map(|_| rng.gen()).collect();
+            let reg = Register::from_words(words.len() as u64 * 64, words);
+            assert_engines_agree(&format!("broadcast/{name}"), &g, |net| {
+                BroadcastRegisterProtocol::instances(
+                    &views,
+                    reg.clone(),
+                    (net.cap_bits() - 1).min(64),
+                    Schedule::Pipelined,
+                )
+            });
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn tree_aggregate_agrees(topo in arb_topology(), seed in 0u64..1000) {
+            let (name, g) = topo;
+            let views = tree_views(&Network::new(&g), 0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let q = 16u64;
+            let lim = ((1u64 << q) - 1) / g.n() as u64;
+            let values: Vec<Vec<u64>> = (0..g.n())
+                .map(|_| (0..3).map(|_| rng.gen_range(0u64..lim.max(1))).collect())
+                .collect();
+            assert_engines_agree(&format!("aggregate/{name}"), &g, |net| {
+                // Chunk headers cost 2 bits, so payload chunks get cap - 2.
+                AggregateBatchProtocol::instances(
+                    &views,
+                    &values,
+                    q,
+                    CommOp::Sum,
+                    (net.cap_bits() - 2).min(64),
+                )
+            });
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn faulted_flood_agrees(topo in arb_topology(), fault_seed in 0u64..1000) {
+            let (name, g) = topo;
+            // The same seeded fault plan must replay identically on both
+            // engines — drops, delays, and retransmissions included.
+            let plan = FaultPlan::new(fault_seed).with_drop_rate(0.2).with_delay(0.1, 3);
+            let net = Network::new(&g).with_faults(plan);
+            assert_engines_agree_on(&format!("faulted-flood/{name}"), &net, |net| {
+                Reliable::wrap_all(
+                    FloodProtocol::instances(net.graph().n(), 0),
+                    RetryConfig::default(),
+                )
+            });
+        }
     }
 }
 

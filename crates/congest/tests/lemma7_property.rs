@@ -1,0 +1,62 @@
+//! Lemma 7 as an executable invariant (E1's table, universally
+//! quantified): on any tree, pipelined register distribution finishes in
+//! `D + ⌈q/B⌉ + O(1)` measured rounds, while the store-and-forward
+//! schedule needs at least `D · ⌈q/B⌉` — the multiplicative idle-wait cost
+//! the paper's framework eliminates.
+
+use congest::bfs::build_bfs_tree;
+use congest::generators::random_tree;
+use congest::runtime::Network;
+use congest::tree_comm::{distribute_register, Register, Schedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipelined_is_additive_and_naive_is_multiplicative(
+        n in 3usize..64,
+        seed in 0u64..500,
+        q in 1u64..400,
+    ) {
+        let g = random_tree(n, seed);
+        let net = Network::new(&g);
+        let tree = build_bfs_tree(&net, 0).unwrap();
+        let depth = tree.views.iter().map(|v| v.depth).max().unwrap() as u64;
+        prop_assert!(depth >= 1, "a tree on n >= 3 nodes has depth >= 1 from its root");
+
+        // The register travels in chunks of `chunk_bits` payload per
+        // message (one tag bit reserved), matching tree_comm's schedule.
+        let chunk_bits = (net.cap_bits() - 1).min(64);
+        let chunks = q.div_ceil(chunk_bits);
+        let reg = Register::from_value(q, if q >= 64 { u64::MAX } else { (1 << q) - 1 });
+
+        let (copies, piped) =
+            distribute_register(&net, &tree.views, reg.clone(), Schedule::Pipelined).unwrap();
+        prop_assert!(copies.iter().all(|c| c == &reg));
+        let piped = piped.rounds as u64;
+
+        // Lemma 7: D + ⌈q/B⌉ + O(1), and no faster than either term alone.
+        prop_assert!(
+            piped <= depth + chunks + 2,
+            "pipelined {} rounds exceeds D + ⌈q/B⌉ + 2 = {} + {} + 2",
+            piped, depth, chunks
+        );
+        prop_assert!(piped >= depth.max(chunks));
+
+        let (copies, naive) =
+            distribute_register(&net, &tree.views, reg.clone(), Schedule::StoreAndForward).unwrap();
+        prop_assert!(copies.iter().all(|c| c == &reg));
+        let naive = naive.rounds as u64;
+
+        // Store-and-forward pays the product: every tree level waits for
+        // the full register before forwarding.
+        prop_assert!(
+            naive >= depth * chunks,
+            "store-and-forward {} rounds beats D·⌈q/B⌉ = {}·{}",
+            naive, depth, chunks
+        );
+        // And pipelining never loses.
+        prop_assert!(piped <= naive);
+    }
+}
