@@ -18,8 +18,8 @@
 //! subset through the **charged** oracle, so a returned index is always
 //! genuinely marked (one-sided error, as in the paper).
 
-use crate::oracle::{count_marked, BatchSource};
-use rand::seq::SliceRandom;
+use crate::oracle::BatchSource;
+use rand::seq::{index, SliceRandom};
 use rand::Rng;
 
 /// Fraction of `p`-subsets of `[k]` containing at least one of `t` marked
@@ -46,33 +46,16 @@ pub fn marked_subset_fraction(k: usize, t: usize, p: usize) -> f64 {
 /// Sample a uniformly random `p`-subset of `[k]`.
 fn random_subset<R: Rng>(k: usize, p: usize, rng: &mut R) -> Vec<usize> {
     debug_assert!(p <= k);
-    // Partial Fisher–Yates over an index map — O(p) expected memory.
-    let mut map = std::collections::HashMap::new();
-    let mut out = Vec::with_capacity(p);
-    for i in 0..p {
-        let j = rng.gen_range(i..k);
-        let vj = *map.get(&j).unwrap_or(&j);
-        let vi = *map.get(&i).unwrap_or(&i);
-        map.insert(j, vi);
-        out.push(vj);
-    }
-    out
+    // Floyd's sampling for sparse draws, partial Fisher–Yates for dense
+    // ones — no per-element HashMap traffic on the hot path.
+    index::sample(rng, k, p).into_vec()
 }
 
 /// Sample a `p`-subset conditioned on containing at least one marked index:
-/// one uniformly random marked index plus `p − 1` others.
-fn random_marked_subset<S: BatchSource + ?Sized, F, R>(
-    src: &S,
-    pred: &F,
-    p: usize,
-    rng: &mut R,
-) -> Vec<usize>
-where
-    F: Fn(u64) -> bool,
-    R: Rng,
-{
-    let k = src.k();
-    let marked: Vec<usize> = (0..k).filter(|&i| pred(src.peek(i))).collect();
+/// one uniformly random index from the pre-computed `marked` list plus
+/// `p − 1` others. Callers cache `marked` once per search instead of
+/// re-scanning all `k` values per verification round.
+fn random_marked_subset<R: Rng>(marked: &[usize], k: usize, p: usize, rng: &mut R) -> Vec<usize> {
     let pick = marked[rng.gen_range(0..marked.len())];
     let mut rest = random_subset(k, p, rng);
     if !rest.contains(&pick) {
@@ -141,7 +124,11 @@ where
         return SearchOutcome { found, batches: src.batches() - start };
     }
 
-    let t = count_marked(src, pred);
+    // Emulator bookkeeping (uncharged `peek`s, not quantum queries): cache
+    // the marked-index list once — every sin²-successful measurement reuses
+    // it instead of re-scanning all k values.
+    let marked: Vec<usize> = (0..k).filter(|&i| pred(src.peek(i))).collect();
+    let t = marked.len();
     let eps = marked_subset_fraction(k, t, p);
     let theta = if eps > 0.0 { eps.sqrt().min(1.0).asin() } else { 0.0 };
 
@@ -166,7 +153,7 @@ where
         // Measurement: marked subset with probability sin²((2j+1)θ).
         let p_succ = if t == 0 { 0.0 } else { (((2 * j + 1) as f64) * theta).sin().powi(2) };
         let subset = if t > 0 && rng.gen_bool(p_succ.clamp(0.0, 1.0)) {
-            random_marked_subset(src, pred, p, rng)
+            random_marked_subset(&marked, k, p, rng)
         } else {
             random_subset(k, p, rng)
         };
@@ -237,7 +224,10 @@ where
         }
         return None;
     }
-    let t = (0..k).filter(|&i| !excluded.contains(&i) && pred(src.peek(i))).count();
+    // Cached once per exclusion round, as in `search_one_promised`.
+    let marked: Vec<usize> =
+        (0..k).filter(|&i| !excluded.contains(&i) && pred(src.peek(i))).collect();
+    let t = marked.len();
     let eps = marked_subset_fraction(k, t, p);
     let theta = if eps > 0.0 { eps.sqrt().min(1.0).asin() } else { 0.0 };
     let m_max = ((k as f64 / p as f64).sqrt().ceil()).max(1.0);
@@ -252,15 +242,7 @@ where
         }
         let p_succ = if t == 0 { 0.0 } else { (((2 * j + 1) as f64) * theta).sin().powi(2) };
         let subset = if t > 0 && rng.gen_bool(p_succ.clamp(0.0, 1.0)) {
-            let marked: Vec<usize> = (0..k)
-                .filter(|&i| !excluded.contains(&i) && pred(src.peek(i)))
-                .collect();
-            let pick = marked[rng.gen_range(0..marked.len())];
-            let mut s = random_subset(k, p, rng);
-            if !s.contains(&pick) {
-                s[0] = pick;
-            }
-            s
+            random_marked_subset(&marked, k, p, rng)
         } else {
             random_subset(k, p, rng)
         };

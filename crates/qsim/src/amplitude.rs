@@ -15,16 +15,13 @@ use std::f64::consts::PI;
 
 /// Apply the amplification iterate `Q = −A S₀ A† S_f` (uncontrolled) to the
 /// `q` low-order qubits.
-pub fn amplification_iterate<F: Fn(usize) -> bool>(state: &mut State, q: usize, good: &F) {
+pub fn amplification_iterate<F: Fn(usize) -> bool + Sync>(state: &mut State, q: usize, good: &F) {
     let mask = (1usize << q) - 1;
     // S_f: flip good states.
-    state.apply_phase_fn(|x| if good(x & mask) { PI } else { 0.0 });
-    // A† = H^{⊗q}
-    state.h_all(0..q);
-    // S₀: flip |0…0⟩.
-    state.apply_phase_fn(|x| if x & mask == 0 { PI } else { 0.0 });
-    // A
-    state.h_all(0..q);
+    state.phase_flip_where(|x| good(x & mask));
+    // A S₀ A† = H^{⊗q} S₀ H^{⊗q} = I − 2|u⟩⟨u|: inversion about the mean
+    // in closed form (two passes instead of the 2q + 1-pass gate cascade).
+    state.inversion_about_mean(q);
     // Global −1: irrelevant uncontrolled; kept implicit here (see the
     // controlled variant below where it matters).
 }
@@ -33,7 +30,7 @@ pub fn amplification_iterate<F: Fn(usize) -> bool>(state: &mut State, q: usize, 
 /// qubits `offset..offset+q`. The global `−1` of `Q` becomes a conditional
 /// phase on the control — it must be tracked for phase estimation to read
 /// the correct eigenphase.
-pub fn controlled_iterate_power<F: Fn(usize) -> bool>(
+pub fn controlled_iterate_power<F: Fn(usize) -> bool + Sync>(
     state: &mut State,
     control: usize,
     q: usize,
@@ -50,25 +47,19 @@ pub fn controlled_iterate_power<F: Fn(usize) -> bool>(
     let dmask = ((1usize << q) - 1) << offset;
     for _ in 0..reps {
         // controlled S_f
-        state.apply_phase_fn(|x| {
-            if x & cbit != 0 && good((x & dmask) >> offset) {
-                PI
-            } else {
-                0.0
-            }
-        });
+        state.phase_flip_where(|x| x & cbit != 0 && good((x & dmask) >> offset));
         // controlled H^{⊗q}
         for d in 0..q {
             state.apply_controlled_1q(&[control], offset + d, h);
         }
         // controlled S₀
-        state.apply_phase_fn(|x| if x & cbit != 0 && x & dmask == 0 { PI } else { 0.0 });
+        state.phase_flip_where(|x| x & cbit != 0 && x & dmask == 0);
         // controlled H^{⊗q}
         for d in 0..q {
             state.apply_controlled_1q(&[control], offset + d, h);
         }
         // controlled global −1
-        state.apply_phase_fn(|x| if x & cbit != 0 { PI } else { 0.0 });
+        state.phase_flip_where(|x| x & cbit != 0);
     }
 }
 
@@ -82,7 +73,7 @@ pub fn amplified_probability(a: f64, j: usize) -> f64 {
 /// Amplitude amplification driver: prepare uniform, run `j` iterates,
 /// sample; repeat up to `reps` times (the `log(1/δ)` boosting of
 /// Corollary 28). Returns a good index if found.
-pub fn amplify_and_sample<F: Fn(usize) -> bool, R: Rng>(
+pub fn amplify_and_sample<F: Fn(usize) -> bool + Sync, R: Rng>(
     q: usize,
     good: F,
     j: usize,
@@ -108,7 +99,7 @@ pub fn amplify_and_sample<F: Fn(usize) -> bool, R: Rng>(
 /// `a = |good ∩ [2^q]| / 2^q` with `t` counting qubits. The estimate
 /// satisfies `|ã − a| ≤ 2π√(a(1−a))/2^t + π²/4^t` with probability
 /// ≥ 8/π².
-pub fn estimate_amplitude<F: Fn(usize) -> bool, R: Rng>(
+pub fn estimate_amplitude<F: Fn(usize) -> bool + Sync, R: Rng>(
     q: usize,
     good: F,
     t: usize,

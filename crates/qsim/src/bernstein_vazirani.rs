@@ -25,7 +25,7 @@ pub fn bernstein_vazirani(s: &[bool]) -> Vec<bool> {
     let mut st = State::zero(m);
     st.h_all(0..m);
     // The single query: |x⟩ → (−1)^{s·x}|x⟩.
-    st.apply_phase_fn(|x| if dot(s, x) { std::f64::consts::PI } else { 0.0 });
+    st.phase_flip_where(|x| dot(s, x));
     st.h_all(0..m);
     // The state is exactly |s⟩.
     let s_idx: usize = s.iter().enumerate().map(|(i, &b)| (b as usize) << i).sum();

@@ -3,7 +3,8 @@
 //! phase estimation on a subroutine (paper §6: QPE applies controlled
 //! powers of a whole algorithm, not of a single gate).
 
-use crate::complex::C64;
+use crate::complex::{c64, C64};
+use crate::kernels::DiagTerm;
 use crate::state::State;
 use std::f64::consts::FRAC_1_SQRT_2;
 
@@ -192,6 +193,28 @@ impl Circuit {
         Circuit { n: self.n, ops: self.ops.iter().rev().map(Op::inverse).collect() }
     }
 
+    /// Fuse the tape: adjacent single-qubit gates on the same qubit
+    /// collapse into one 2×2 matrix, and runs of diagonal gates
+    /// (`Z`/`Phase`/`CPhase`/`Mcz`/`GlobalPhase`) collapse into a single
+    /// diagonal sweep — so applying a fused QFT/QPE tape makes one
+    /// amplitude pass per fused group instead of one per gate.
+    pub fn fuse(&self) -> FusedCircuit {
+        let mut out: Vec<FusedOp> = Vec::new();
+        let mut pending = Pending::None;
+        for op in &self.ops {
+            pending = pending.absorb(op, &mut out);
+        }
+        pending.flush(&mut out);
+        FusedCircuit { n: self.n, ops: out }
+    }
+
+    /// Apply the tape through the fused representation — one
+    /// [`fuse`](Self::fuse) followed by [`FusedCircuit::apply`]. For
+    /// repeated application, fuse once and reuse the result.
+    pub fn apply_fused(&self, state: &mut State) {
+        self.fuse().apply(state);
+    }
+
     /// The circuit controlled on qubit `control` (which must be outside
     /// the circuit's qubit range after `shift` is applied): every gate
     /// gains the control, and global phases become control phases.
@@ -244,6 +267,188 @@ impl Circuit {
             out.push(controlled);
         }
         out
+    }
+}
+
+/// One group of a fused tape (see [`Circuit::fuse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedOp {
+    /// A 2×2 unitary on qubit `q`, controlled on every set bit of
+    /// `ctrl_mask` (0 = uncontrolled) — the product of a fused run of
+    /// single-qubit gates, or a lone CNOT/MCX.
+    Matrix {
+        /// Control bit mask.
+        ctrl_mask: usize,
+        /// Target qubit.
+        q: usize,
+        /// The fused 2×2 matrix.
+        m: [[C64; 2]; 2],
+    },
+    /// A fused run of diagonal gates, applied in one amplitude sweep.
+    Diagonal(Vec<DiagTerm>),
+}
+
+/// A fused gate tape: each entry costs one pass over the statevector (or
+/// a strided fraction of one), however many [`Op`]s it absorbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedCircuit {
+    n: usize,
+    ops: Vec<FusedOp>,
+}
+
+impl FusedCircuit {
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The fused groups.
+    pub fn ops(&self) -> &[FusedOp] {
+        &self.ops
+    }
+
+    /// Number of fused groups (≤ the unfused gate count).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply the fused tape to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has fewer qubits than the circuit.
+    pub fn apply(&self, state: &mut State) {
+        assert!(state.num_qubits() >= self.n, "state too small for circuit");
+        for op in &self.ops {
+            match op {
+                FusedOp::Matrix { ctrl_mask, q, m } => state.apply_masked_1q(*ctrl_mask, *q, *m),
+                FusedOp::Diagonal(terms) => state.apply_diag_terms(terms),
+            }
+        }
+    }
+}
+
+const MAT_H: [[C64; 2]; 2] = [
+    [c64(FRAC_1_SQRT_2, 0.0), c64(FRAC_1_SQRT_2, 0.0)],
+    [c64(FRAC_1_SQRT_2, 0.0), c64(-FRAC_1_SQRT_2, 0.0)],
+];
+const MAT_X: [[C64; 2]; 2] = [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]];
+const MAT_Z: [[C64; 2]; 2] = [[C64::ONE, C64::ZERO], [C64::ZERO, c64(-1.0, 0.0)]];
+
+fn mat_phase(theta: f64) -> [[C64; 2]; 2] {
+    [[C64::ONE, C64::ZERO], [C64::ZERO, C64::from_polar(1.0, theta)]]
+}
+
+/// `a · b` — the matrix of "apply `b`, then `a`".
+fn matmul(a: &[[C64; 2]; 2], b: &[[C64; 2]; 2]) -> [[C64; 2]; 2] {
+    [
+        [a[0][0] * b[0][0] + a[0][1] * b[1][0], a[0][0] * b[0][1] + a[0][1] * b[1][1]],
+        [a[1][0] * b[0][0] + a[1][1] * b[1][0], a[1][0] * b[0][1] + a[1][1] * b[1][1]],
+    ]
+}
+
+/// The group currently being grown by the fusion scan.
+enum Pending {
+    None,
+    Matrix { q: usize, m: [[C64; 2]; 2] },
+    Diag(Vec<DiagTerm>),
+}
+
+impl Pending {
+    fn flush(self, out: &mut Vec<FusedOp>) {
+        match self {
+            Pending::None => {}
+            Pending::Matrix { q, m } => out.push(FusedOp::Matrix { ctrl_mask: 0, q, m }),
+            Pending::Diag(terms) => out.push(FusedOp::Diagonal(terms)),
+        }
+    }
+
+    /// Fold `op` into the pending group, flushing to `out` on a break.
+    fn absorb(self, op: &Op, out: &mut Vec<FusedOp>) -> Pending {
+        match op {
+            Op::H(q) => self.merge_1q(*q, MAT_H, out),
+            Op::X(q) => self.merge_1q(*q, MAT_X, out),
+            Op::Z(q) => {
+                self.merge_diag_1q(*q, MAT_Z, DiagTerm { mask: 1 << q, factor: c64(-1.0, 0.0) }, out)
+            }
+            Op::Phase(q, th) => self.merge_diag_1q(
+                *q,
+                mat_phase(*th),
+                DiagTerm { mask: 1 << q, factor: C64::from_polar(1.0, *th) },
+                out,
+            ),
+            Op::Cnot(c, t) => {
+                self.flush(out);
+                out.push(FusedOp::Matrix { ctrl_mask: 1 << c, q: *t, m: MAT_X });
+                Pending::None
+            }
+            Op::Mcx(cs, t) => {
+                self.flush(out);
+                let mask = cs.iter().map(|&c| 1usize << c).sum();
+                out.push(FusedOp::Matrix { ctrl_mask: mask, q: *t, m: MAT_X });
+                Pending::None
+            }
+            Op::CPhase(c, t, th) => self.merge_diag(
+                DiagTerm { mask: (1 << c) | (1 << t), factor: C64::from_polar(1.0, *th) },
+                out,
+            ),
+            Op::Mcz(cs, t) => {
+                let mask: usize = cs.iter().map(|&c| 1usize << c).sum::<usize>() | (1 << t);
+                self.merge_diag(DiagTerm { mask, factor: c64(-1.0, 0.0) }, out)
+            }
+            Op::GlobalPhase(th) => {
+                self.merge_diag(DiagTerm { mask: 0, factor: C64::from_polar(1.0, *th) }, out)
+            }
+        }
+    }
+
+    /// A non-diagonal single-qubit gate: extend a same-qubit matrix run.
+    fn merge_1q(self, q: usize, m: [[C64; 2]; 2], out: &mut Vec<FusedOp>) -> Pending {
+        match self {
+            Pending::Matrix { q: pq, m: pm } if pq == q => {
+                Pending::Matrix { q, m: matmul(&m, &pm) }
+            }
+            other => {
+                other.flush(out);
+                Pending::Matrix { q, m }
+            }
+        }
+    }
+
+    /// A diagonal single-qubit gate: prefer a same-qubit matrix run (so
+    /// `H·Z·H` fuses to one matrix), else join the diagonal run.
+    fn merge_diag_1q(
+        self,
+        q: usize,
+        m: [[C64; 2]; 2],
+        term: DiagTerm,
+        out: &mut Vec<FusedOp>,
+    ) -> Pending {
+        match self {
+            Pending::Matrix { q: pq, m: pm } if pq == q => {
+                Pending::Matrix { q, m: matmul(&m, &pm) }
+            }
+            other => other.merge_diag(term, out),
+        }
+    }
+
+    /// A diagonal gate of any arity: extend the diagonal run.
+    fn merge_diag(self, term: DiagTerm, out: &mut Vec<FusedOp>) -> Pending {
+        match self {
+            Pending::Diag(mut terms) => {
+                terms.push(term);
+                Pending::Diag(terms)
+            }
+            other => {
+                other.flush(out);
+                Pending::Diag(vec![term])
+            }
+        }
     }
 }
 
@@ -328,5 +533,73 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_rejected() {
         Circuit::new(2).h(2);
+    }
+
+    #[test]
+    fn fused_matches_unfused_on_rich_tape() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .z(0)
+            .h(0) // fuses to one matrix (≈ X)
+            .phase(1, 0.3)
+            .cphase(0, 2, 0.7)
+            .mcz(vec![0, 1], 3)
+            .global_phase(0.2) // one diagonal sweep
+            .cnot(1, 2)
+            .x(3)
+            .phase(3, 1.1)
+            .mcx(vec![0, 2], 1);
+        for basis in 0..16 {
+            let mut plain = State::basis(4, basis);
+            c.apply(&mut plain);
+            let mut fused = State::basis(4, basis);
+            c.apply_fused(&mut fused);
+            assert!(plain.fidelity(&fused) > 1.0 - 1e-12, "basis {basis}");
+        }
+    }
+
+    #[test]
+    fn fusion_collapses_runs() {
+        // H·Z·H on one qubit plus a diagonal run: 7 gates → 3 groups.
+        let mut c = Circuit::new(3);
+        c.h(0).z(0).h(0).phase(1, 0.4).cphase(1, 2, 0.9).mcz(vec![0], 2).cnot(0, 1);
+        let fused = c.fuse();
+        assert_eq!(c.len(), 7);
+        assert_eq!(fused.len(), 3, "{:?}", fused.ops());
+        assert!(matches!(fused.ops()[0], FusedOp::Matrix { ctrl_mask: 0, q: 0, .. }));
+        assert!(matches!(&fused.ops()[1], FusedOp::Diagonal(terms) if terms.len() == 3));
+        assert!(matches!(fused.ops()[2], FusedOp::Matrix { ctrl_mask: 1, q: 1, .. }));
+    }
+
+    #[test]
+    fn fused_hzh_is_x() {
+        let mut c = Circuit::new(1);
+        c.h(0).z(0).h(0);
+        let fused = c.fuse();
+        assert_eq!(fused.len(), 1);
+        let mut s = State::zero(1);
+        fused.apply(&mut s);
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_empty_and_identity_edges() {
+        let c = Circuit::new(2);
+        let fused = c.fuse();
+        assert!(fused.is_empty());
+        let mut s = State::basis(2, 2);
+        fused.apply(&mut s);
+        assert!((s.probability(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_global_phase_alone() {
+        let mut c = Circuit::new(1);
+        c.global_phase(0.8);
+        let mut s = State::zero(1);
+        c.apply_fused(&mut s);
+        let want = C64::from_polar(1.0, 0.8);
+        let got = s.amplitude(0);
+        assert!((got.re - want.re).abs() < 1e-12 && (got.im - want.im).abs() < 1e-12);
     }
 }

@@ -5,6 +5,7 @@
 //! provided.
 
 use std::fmt;
+use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A complex number with `f64` components.
@@ -97,6 +98,14 @@ impl Mul for C64 {
     #[inline]
     fn mul(self, o: C64) -> C64 {
         c64(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl Sum for C64 {
+    /// Plain left-to-right fold: summation order is exactly the iteration
+    /// order, which the deterministic kernel reductions rely on.
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
     }
 }
 

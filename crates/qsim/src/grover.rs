@@ -8,22 +8,20 @@ use std::f64::consts::PI;
 
 /// One Grover iterate on the `q` low-order qubits: phase oracle followed by
 /// the diffusion (inversion about the uniform superposition).
-pub fn grover_iterate<F: Fn(usize) -> bool>(state: &mut State, q: usize, k: usize, marked: &F) {
+pub fn grover_iterate<F: Fn(usize) -> bool + Sync>(state: &mut State, q: usize, k: usize, marked: &F) {
     phase_oracle(state, q, k, marked);
     diffusion(state, q);
 }
 
-/// The diffusion operator `2|u⟩⟨u| − I` on the `q` low-order qubits.
+/// The diffusion operator `2|u⟩⟨u| − I` on the `q` low-order qubits,
+/// applied in closed form: `H^{⊗q} · S₀ · H^{⊗q} = I − 2|u⟩⟨u|` is an
+/// inversion about the block mean, so two amplitude passes replace the
+/// `2q + 1` passes of the gate cascade. The global `−1` relating this to
+/// `2|u⟩⟨u| − I` is absorbed, matching the textbook `Q = −A S₀ A† S_f`
+/// convention up to global phase (irrelevant uncontrolled; the controlled
+/// version in `amplitude` adds it back explicitly).
 pub fn diffusion(state: &mut State, q: usize) {
-    state.h_all(0..q);
-    // Flip the sign of |0…0⟩ (on the q low-order qubits).
-    let mask = (1usize << q) - 1;
-    state.apply_phase_fn(|x| if x & mask == 0 { PI } else { 0.0 });
-    state.h_all(0..q);
-    // 2|u⟩⟨u| − I = −(H S₀ H); absorb the global −1 so the iterate matches
-    // the textbook Q = −A S₀ A† S_f convention up to global phase (which is
-    // irrelevant uncontrolled; the controlled version in `amplitude` adds
-    // it back explicitly).
+    state.inversion_about_mean(q);
 }
 
 /// Success probability of measuring a marked item after `j` iterations
@@ -50,7 +48,7 @@ pub struct GroverResult {
 /// # Panics
 ///
 /// Panics if `k == 0` or `t == 0`.
-pub fn grover_known_count<F: Fn(usize) -> bool, R: Rng>(
+pub fn grover_known_count<F: Fn(usize) -> bool + Sync, R: Rng>(
     k: usize,
     t: usize,
     marked: F,
@@ -79,7 +77,11 @@ pub fn grover_known_count<F: Fn(usize) -> bool, R: Rng>(
 /// # Panics
 ///
 /// Panics if `k == 0`.
-pub fn grover_search<F: Fn(usize) -> bool, R: Rng>(k: usize, marked: F, rng: &mut R) -> GroverResult {
+pub fn grover_search<F: Fn(usize) -> bool + Sync, R: Rng>(
+    k: usize,
+    marked: F,
+    rng: &mut R,
+) -> GroverResult {
     assert!(k > 0);
     let q = index_qubits(k);
     let big_n = 1usize << q;

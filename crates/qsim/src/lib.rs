@@ -7,6 +7,9 @@
 //! the ground truth those emulations are validated against:
 //!
 //! * [`state`] — dense statevectors, gates, measurement;
+//! * [`kernels`] — the strided, multi-threaded loops under every gate;
+//! * [`reference`] — the seed's branch-per-index scans, kept as the
+//!   differential-test oracle;
 //! * [`oracle`] — phase and XOR input oracles from classical data;
 //! * [`qft`] — the quantum Fourier transform;
 //! * [`grover`] — Grover/BBHT search (Lemma 2's sequential core);
@@ -38,9 +41,11 @@ pub mod complex;
 pub mod deutsch_jozsa;
 pub mod gf2;
 pub mod grover;
+pub mod kernels;
 pub mod oracle;
 pub mod phase_estimation;
 pub mod qft;
+pub mod reference;
 pub mod simon;
 pub mod state;
 

@@ -20,16 +20,12 @@ use crate::state::State;
 /// # Panics
 ///
 /// Panics if `q` exceeds the state's qubit count.
-pub fn phase_oracle<F: Fn(usize) -> bool>(state: &mut State, q: usize, k: usize, marked: F) {
+pub fn phase_oracle<F: Fn(usize) -> bool + Sync>(state: &mut State, q: usize, k: usize, marked: F) {
     assert!(q <= state.num_qubits());
     let mask = (1usize << q) - 1;
-    state.apply_phase_fn(|x| {
+    state.phase_flip_where(|x| {
         let i = x & mask;
-        if i < k && marked(i) {
-            std::f64::consts::PI
-        } else {
-            0.0
-        }
+        i < k && marked(i)
     });
 }
 

@@ -37,9 +37,7 @@ pub fn phase_estimation<U: ControlledUnitary, R: Rng>(
     rng: &mut R,
 ) -> usize {
     assert!(t >= 1 && t < state.num_qubits(), "need 1..n counting qubits");
-    for q in 0..t {
-        state.h(q);
-    }
+    state.h_all(0..t);
     for (j, q) in (0..t).enumerate() {
         u.apply_power(state, q, j as u32);
     }

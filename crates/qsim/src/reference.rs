@@ -1,0 +1,101 @@
+//! The seed's branch-per-index statevector operations, retained verbatim
+//! as the **differential-test oracle** for [`crate::kernels`].
+//!
+//! Every function here scans all `2^n` amplitudes and branches per index —
+//! exactly what [`crate::state::State`] did before the strided kernel
+//! rewrite. The fast path must agree with these to fidelity `1 − 1e-12`
+//! (see `tests/kernels_differential.rs`), and the `qsim` criterion bench
+//! measures its speedups against them (`BENCH_qsim.json`).
+
+use crate::complex::C64;
+use rand::Rng;
+
+/// Branch-per-index controlled single-qubit unitary (the seed
+/// `State::apply_controlled_1q`).
+pub fn apply_controlled_1q(amps: &mut [C64], controls: &[usize], q: usize, m: [[C64; 2]; 2]) {
+    let mask: usize = controls.iter().map(|&c| 1usize << c).sum();
+    let bit = 1usize << q;
+    for i in 0..amps.len() {
+        if i & bit == 0 && (i & mask) == mask {
+            let j = i | bit;
+            let a0 = amps[i];
+            let a1 = amps[j];
+            amps[i] = m[0][0] * a0 + m[0][1] * a1;
+            amps[j] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+}
+
+/// Full-scan diagonal unitary `|x⟩ → e^{i·f(x)}|x⟩` with a trigonometric
+/// evaluation per non-zero phase (the seed `State::apply_phase_fn`).
+pub fn apply_phase_fn<F: Fn(usize) -> f64>(amps: &mut [C64], f: F) {
+    for (x, a) in amps.iter_mut().enumerate() {
+        let phi = f(x);
+        if phi != 0.0 {
+            *a = *a * C64::from_polar(1.0, phi);
+        }
+    }
+}
+
+/// Basis permutation with the seed's two fresh `2^n` allocations (`out`
+/// plus the `hit` occupancy check).
+pub fn apply_permutation<F: Fn(usize) -> usize>(amps: &mut Vec<C64>, pi: F) {
+    let dim = amps.len();
+    let mut out = vec![C64::ZERO; dim];
+    let mut hit = vec![false; dim];
+    for (x, &a) in amps.iter().enumerate() {
+        let y = pi(x);
+        debug_assert!(y < dim, "permutation image out of range");
+        debug_assert!(!hit[y], "not a permutation: image {y} repeated");
+        hit[y] = true;
+        out[y] = a;
+    }
+    *amps = out;
+}
+
+/// Full-scan `P(qubit q = 1)` via `enumerate().filter()` (the seed
+/// `State::prob_one`).
+pub fn prob_one(amps: &[C64], q: usize) -> f64 {
+    let bit = 1usize << q;
+    amps.iter().enumerate().filter(|(i, _)| i & bit != 0).map(|(_, a)| a.norm_sqr()).sum()
+}
+
+/// Linear (unchunked) `Σ|αᵢ|²`.
+pub fn norm_sqr(amps: &[C64]) -> f64 {
+    amps.iter().map(|a| a.norm_sqr()).sum()
+}
+
+/// The seed's linear-scan measurement sampler: draw `r` uniform in
+/// `[0, Σ|αᵢ|²)` and walk the prefix sums.
+pub fn sample<R: Rng>(amps: &[C64], rng: &mut R) -> usize {
+    let r: f64 = rng.gen::<f64>() * norm_sqr(amps);
+    let mut acc = 0.0;
+    for (i, a) in amps.iter().enumerate() {
+        acc += a.norm_sqr();
+        if r < acc {
+            return i;
+        }
+    }
+    amps.len() - 1
+}
+
+/// Hadamard on qubit `q` through the reference kernel (bench convenience).
+pub fn h(amps: &mut [C64], q: usize) {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let m = [[C64 { re: s, im: 0.0 }, C64 { re: s, im: 0.0 }], [
+        C64 { re: s, im: 0.0 },
+        C64 { re: -s, im: 0.0 },
+    ]];
+    apply_controlled_1q(amps, &[], q, m);
+}
+
+/// `diag(1, 1, 1, e^{iθ})` on `(c, t)` through the reference kernel.
+pub fn cphase(amps: &mut [C64], c: usize, t: usize, theta: f64) {
+    let m = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::from_polar(1.0, theta)]];
+    apply_controlled_1q(amps, &[c], t, m);
+}
+
+/// CNOT through the reference kernel.
+pub fn cnot(amps: &mut [C64], c: usize, t: usize) {
+    apply_controlled_1q(amps, &[c], t, [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]);
+}

@@ -46,6 +46,16 @@ pub fn simon_table(m: usize, s: u64, seed: u64) -> Vec<u64> {
     (0..size).map(|x| perm[rank[(x as u64).min(x as u64 ^ s) as usize] as usize]).collect()
 }
 
+/// Tabulate the XOR-oracle basis permutation `|x⟩|y⟩ → |x⟩|y ⊕ f(x)⟩` on
+/// `2m` qubits once, so repeated Simon iterations replay a table lookup
+/// instead of re-deriving the image index for every amplitude.
+pub fn xor_permutation(table: &[u64]) -> Vec<usize> {
+    let m = table.len().trailing_zeros() as usize;
+    assert_eq!(table.len(), 1 << m);
+    let imask = (1usize << m) - 1;
+    (0..1usize << (2 * m)).map(|x| x ^ ((table[x & imask] as usize) << m)).collect()
+}
+
 /// One Simon iteration on the statevector: returns a `y` with `y·s = 0`,
 /// uniformly distributed over that subspace.
 pub fn simon_sample<R: Rng>(table: &[u64], rng: &mut R) -> u64 {
@@ -54,6 +64,18 @@ pub fn simon_sample<R: Rng>(table: &[u64], rng: &mut R) -> u64 {
     let mut st = State::zero(2 * m);
     st.h_all(0..m);
     xor_oracle(&mut st, m, m, table);
+    st.h_all(0..m);
+    let out = st.sample(rng);
+    (out & ((1 << m) - 1)) as u64
+}
+
+/// [`simon_sample`] with the oracle permutation already tabulated by
+/// [`xor_permutation`] — the per-iteration fast path used by [`simon`].
+pub fn simon_sample_tabulated<R: Rng>(pi: &[usize], m: usize, rng: &mut R) -> u64 {
+    assert_eq!(pi.len(), 1 << (2 * m));
+    let mut st = State::zero(2 * m);
+    st.h_all(0..m);
+    st.apply_permutation(|x| pi[x]);
     st.h_all(0..m);
     let out = st.sample(rng);
     (out & ((1 << m) - 1)) as u64
@@ -72,10 +94,12 @@ pub struct SimonOutcome {
 /// `m − 1` (or a cutoff of `8m` iterations), then solve.
 pub fn simon<R: Rng>(table: &[u64], rng: &mut R) -> SimonOutcome {
     let m = table.len().trailing_zeros() as usize;
+    // Tabulate the oracle permutation once; every iteration replays it.
+    let pi = xor_permutation(table);
     let mut eqs = Gf2Matrix::new(m.max(1));
     let mut queries = 0;
     while eqs.rank() < m.saturating_sub(1) && queries < 8 * m.max(1) {
-        let y = simon_sample(table, rng);
+        let y = simon_sample_tabulated(&pi, m, rng);
         queries += 1;
         if y != 0 {
             eqs.push(y);
@@ -131,6 +155,19 @@ mod tests {
         }
         // The orthogonal subspace {000, 010, 101, 111} should all appear.
         assert_eq!(seen.len(), 4, "{seen:?}");
+    }
+
+    #[test]
+    fn tabulated_sampling_matches_oracle_sampling() {
+        // Same RNG stream → identical outcomes: the tabulated permutation
+        // is exactly the closure the XOR oracle applies.
+        let t = simon_table(4, 0b0101, 13);
+        let pi = xor_permutation(&t);
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            assert_eq!(simon_sample(&t, &mut a), simon_sample_tabulated(&pi, 4, &mut b));
+        }
     }
 
     #[test]

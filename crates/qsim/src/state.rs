@@ -5,9 +5,14 @@
 //! query-schedule emulations in the `pquery` crate against exact quantum
 //! mechanics.
 //!
+//! Gates and reductions bottom out in the strided, optionally
+//! multi-threaded loops of [`crate::kernels`]; the seed's branch-per-index
+//! scans survive in [`crate::reference`] as the differential-test oracle.
+//!
 //! Qubit `0` is the least-significant bit of a basis-state index.
 
 use crate::complex::{c64, C64};
+use crate::kernels;
 use rand::Rng;
 
 /// Numerical tolerance for normalization checks.
@@ -76,8 +81,11 @@ impl State {
     }
 
     /// `Σ|αᵢ|²` (should always be 1 up to rounding).
+    ///
+    /// Summed over fixed [`kernels::REDUCE_CHUNK`] partials, so the value
+    /// is bit-identical whatever thread count the kernels pick.
     pub fn norm_sqr(&self) -> f64 {
-        self.amps.iter().map(|a| a.norm_sqr()).sum()
+        kernels::norm_sqr(&self.amps, kernels::auto_threads(self.n))
     }
 
     /// `|⟨self|other⟩|²`.
@@ -109,21 +117,40 @@ impl State {
             assert!(c < self.n, "control out of range");
         }
         let mask: usize = controls.iter().map(|&c| 1usize << c).sum();
-        let bit = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & bit == 0 && (i & mask) == mask {
-                let j = i | bit;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
-            }
-        }
+        kernels::apply_controlled_1q(&mut self.amps, mask, q, m, kernels::auto_threads(self.n));
     }
 
     /// Apply a single-qubit unitary without controls.
     pub fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
-        self.apply_controlled_1q(&[], q, m);
+        assert!(q < self.n, "target out of range");
+        kernels::apply_1q(&mut self.amps, q, m, kernels::auto_threads(self.n));
+    }
+
+    /// [`apply_controlled_1q`](Self::apply_controlled_1q) with the control
+    /// set given as a bit mask — the form the fused circuit tapes use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or a mask bit is out of range, or the mask contains
+    /// the target.
+    pub fn apply_masked_1q(&mut self, ctrl_mask: usize, q: usize, m: [[C64; 2]; 2]) {
+        assert!(q < self.n, "target out of range");
+        assert!(ctrl_mask >> self.n == 0, "control out of range");
+        assert!(ctrl_mask & (1 << q) == 0, "target cannot be its own control");
+        kernels::apply_controlled_1q(&mut self.amps, ctrl_mask, q, m, kernels::auto_threads(self.n));
+    }
+
+    /// Apply a fused run of diagonal gates in one amplitude sweep (see
+    /// [`kernels::apply_diag`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term's mask addresses qubits outside the state.
+    pub fn apply_diag_terms(&mut self, terms: &[kernels::DiagTerm]) {
+        for t in terms {
+            assert!(t.mask >> self.n == 0, "diagonal term out of range");
+        }
+        kernels::apply_diag(&mut self.amps, terms, kernels::auto_threads(self.n));
     }
 
     /// Multiply the amplitude of every basis state `x` by `e^{i·f(x)}` — an
@@ -138,20 +165,49 @@ impl State {
         }
     }
 
+    /// Negate the amplitude of every basis state selected by `pred` — the
+    /// `f(x) ∈ {0, π}` special case of [`apply_phase_fn`](Self::apply_phase_fn)
+    /// without any trigonometry. This is the phase-oracle hot path of
+    /// Grover search.
+    pub fn phase_flip_where<F: Fn(usize) -> bool + Sync>(&mut self, pred: F) {
+        kernels::phase_flip_where(&mut self.amps, pred, kernels::auto_threads(self.n));
+    }
+
+    /// Invert every contiguous `2^q` block of amplitudes about its mean:
+    /// the diffusion `I − 2|u⟩⟨u|` over the `q` low qubits, in two memory
+    /// passes instead of the `2q + 1` passes of the `H^{⊗q} · S₀ · H^{⊗q}`
+    /// gate cascade (see [`kernels::inversion_about_mean`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` exceeds the number of qubits.
+    pub fn inversion_about_mean(&mut self, q: usize) {
+        assert!(q <= self.n, "qubit range out of bounds");
+        kernels::inversion_about_mean(&mut self.amps, q, kernels::auto_threads(self.n));
+    }
+
     /// Apply the basis permutation `|x⟩ → |π(x)⟩`.
+    ///
+    /// One scratch vector is allocated per call (the occupancy check that
+    /// used to cost a second `2^n` allocation now runs only in debug
+    /// builds).
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `π` is not a permutation.
     pub fn apply_permutation<F: Fn(usize) -> usize>(&mut self, pi: F) {
         let dim = self.amps.len();
-        let mut out = vec![C64::ZERO; dim];
+        #[cfg(debug_assertions)]
         let mut hit = vec![false; dim];
+        let mut out = vec![C64::ZERO; dim];
         for (x, &a) in self.amps.iter().enumerate() {
             let y = pi(x);
             debug_assert!(y < dim, "permutation image out of range");
-            debug_assert!(!hit[y], "not a permutation: image {y} repeated");
-            hit[y] = true;
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(!hit[y], "not a permutation: image {y} repeated");
+                hit[y] = true;
+            }
             out[y] = a;
         }
         self.amps = out;
@@ -163,15 +219,11 @@ impl State {
         self.amps[idx].norm_sqr()
     }
 
-    /// Probability that qubit `q` measures to 1.
+    /// Probability that qubit `q` measures to 1: a strided sum over the
+    /// upper half of every `2^{q+1}` block, no per-index bit test.
     pub fn prob_one(&self, q: usize) -> f64 {
-        let bit = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        assert!(q < self.n, "qubit out of range");
+        kernels::prob_one(&self.amps, q, kernels::auto_threads(self.n))
     }
 
     /// Total probability of the basis states selected by `pred`.
@@ -184,27 +236,33 @@ impl State {
             .sum()
     }
 
+    /// Build a reusable measurement sampler: the cumulative-probability
+    /// table costs one `O(2^n)` pass, after which every
+    /// [`draw`](Sampler::draw) is an `O(n)` binary search. Outcomes (and
+    /// the RNG stream) are identical to the seed's linear scan.
+    pub fn sampler(&self) -> Sampler {
+        let mut cum = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0f64;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cum.push(acc);
+        }
+        Sampler { cum }
+    }
+
     /// Sample a full measurement of all qubits (the state is *not*
     /// collapsed; callers that need post-measurement states use
-    /// [`collapse`](Self::collapse)).
+    /// [`collapse`](Self::collapse)). For repeated draws from the same
+    /// state, build one [`sampler`](Self::sampler) and reuse it.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let r: f64 = rng.gen::<f64>() * self.norm_sqr();
-        let mut acc = 0.0;
-        for (i, a) in self.amps.iter().enumerate() {
-            acc += a.norm_sqr();
-            if r < acc {
-                return i;
-            }
-        }
-        self.amps.len() - 1
+        self.sampler().draw(rng)
     }
 
     /// Measure all qubits: sample an outcome and collapse onto it.
     pub fn measure_all<R: Rng>(&mut self, rng: &mut R) -> usize {
         let out = self.sample(rng);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = if i == out { C64::ONE } else { C64::ZERO };
-        }
+        self.amps.fill(C64::ZERO);
+        self.amps[out] = C64::ONE;
         out
     }
 
@@ -286,6 +344,27 @@ impl State {
         self.cnot(a, b);
         self.cnot(b, a);
         self.cnot(a, b);
+    }
+}
+
+/// A cumulative-probability table over a state's basis outcomes, built by
+/// [`State::sampler`]. Each [`draw`](Self::draw) consumes one `f64` from
+/// the RNG and binary-searches the table — `O(log 2^n) = O(n)` per draw
+/// after the `O(2^n)` setup, with outcomes bit-identical to the seed's
+/// linear prefix scan (the table holds the very same running sums).
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    cum: Vec<f64>,
+}
+
+impl Sampler {
+    /// Draw one full-measurement outcome.
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cum.last().expect("state is never empty");
+        let r: f64 = rng.gen::<f64>() * total;
+        // First index whose running sum exceeds r; the clamp covers the
+        // rounding tail exactly like the seed's fall-through return.
+        self.cum.partition_point(|&c| c <= r).min(self.cum.len() - 1)
     }
 }
 

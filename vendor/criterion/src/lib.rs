@@ -11,13 +11,32 @@
 //! completed benchmark appends one JSON object per line
 //! (`{"id": ..., "median_ns": ..., "mean_ns": ..., "samples": ...}`),
 //! which the repo's `BENCH_engine.json` regeneration consumes.
+//!
+//! Smoke mode: `cargo bench -- --test` (mirroring upstream criterion's
+//! `--test` flag) executes every benchmark body exactly once with no timing
+//! loops and no JSON output — CI uses this to keep benches compiling and
+//! running without paying for measurements.
 
 #![deny(missing_docs)]
 
 use std::fmt::Display;
 use std::fmt::Write as _;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// When set, benchmark bodies run once, untimed ([`criterion_main!`] sets
+/// this when the binary is invoked with `--test`).
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable smoke-test mode (run bodies once, no measurements).
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 pub use std::hint::black_box;
 
@@ -62,6 +81,12 @@ pub struct Bencher {
 impl Bencher {
     /// Measure `f`, automatically batching fast routines.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            // Smoke mode: execute once so panics surface, measure nothing.
+            black_box(f());
+            self.sample_ns.clear();
+            return;
+        }
         // Calibrate: how many iterations fit in ~25 ms?
         let t0 = Instant::now();
         black_box(f());
@@ -131,6 +156,10 @@ fn json_escape(s: &str) -> String {
 }
 
 fn report(record: &Record) {
+    if test_mode() {
+        println!("Testing {} ... ok", record.id);
+        return;
+    }
     println!(
         "{:<52} time: [{}]  (median of {} samples)",
         record.id,
@@ -240,10 +269,16 @@ macro_rules! criterion_group {
 }
 
 /// Define the benchmark binary's `main`, mirroring criterion's macro.
+///
+/// Recognizes upstream criterion's `--test` flag (as passed by
+/// `cargo bench -- --test`): benchmark bodies run once, untimed.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                $crate::set_test_mode(true);
+            }
             $( $group(); )+
         }
     };
@@ -253,12 +288,28 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes tests that toggle or observe the global [`TEST_MODE`].
+    static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bencher_measures_positive_time() {
+        let _guard = MODE_LOCK.lock().unwrap();
         let mut b = Bencher { samples: 3, sample_ns: Vec::new() };
         b.iter(|| (0..100u64).sum::<u64>());
         assert_eq!(b.sample_ns.len(), 3);
         assert!(b.sample_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_exactly_once() {
+        let _guard = MODE_LOCK.lock().unwrap();
+        set_test_mode(true);
+        let mut count = 0u32;
+        let mut b = Bencher { samples: 5, sample_ns: Vec::new() };
+        b.iter(|| count += 1);
+        set_test_mode(false);
+        assert_eq!(count, 1, "smoke mode must execute the body once");
+        assert!(b.sample_ns.is_empty(), "smoke mode must not record samples");
     }
 
     #[test]

@@ -324,6 +324,96 @@ pub mod seq {
             }
         }
     }
+
+    /// Index sampling without replacement, mirroring `rand::seq::index`.
+    pub mod index {
+        use super::{Rng, SliceRandom};
+
+        /// A sequence of distinct sampled indices (upstream keeps `u32` and
+        /// `usize` variants; this mirror is `usize`-only).
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// `true` if no indices were sampled.
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterate over the sampled indices.
+            pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+                self.0.iter()
+            }
+
+            /// Consume into the underlying vector.
+            #[inline]
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length`, uniformly at
+        /// random and in uniformly random order.
+        ///
+        /// Dense draws (`amount` a sizeable fraction of `length`) run a
+        /// partial Fisher–Yates over a materialized index table, `O(length)`
+        /// memory; sparse draws use Floyd's combination sampling followed by
+        /// a shuffle, `O(amount)` memory.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} indices from 0..{length}");
+            if amount == 0 {
+                return IndexVec(Vec::new());
+            }
+            if length <= 4 * amount {
+                // Dense: partial Fisher–Yates, keep the first `amount`.
+                let mut indices: Vec<usize> = (0..length).collect();
+                for i in 0..amount {
+                    let j = rng.gen_range(i..length);
+                    indices.swap(i, j);
+                }
+                indices.truncate(amount);
+                IndexVec(indices)
+            } else {
+                // Sparse: Floyd's algorithm yields a uniform combination;
+                // the final shuffle makes the order uniform too.
+                let mut set = std::collections::HashSet::with_capacity(amount);
+                let mut out = Vec::with_capacity(amount);
+                for j in length - amount..length {
+                    let t = rng.gen_range(0..=j);
+                    if set.insert(t) {
+                        out.push(t);
+                    } else {
+                        // `j` itself cannot have been drawn yet: every
+                        // earlier round only inserts values ≤ j − 1.
+                        set.insert(j);
+                        out.push(j);
+                    }
+                }
+                out.shuffle(rng);
+                IndexVec(out)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -403,5 +493,61 @@ mod tests {
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // Exercise both the dense (Fisher–Yates) and sparse (Floyd) paths.
+        for (length, amount) in [(10usize, 10usize), (10, 4), (1000, 5), (1000, 400)] {
+            for _ in 0..50 {
+                let v = super::seq::index::sample(&mut rng, length, amount).into_vec();
+                assert_eq!(v.len(), amount);
+                let set: std::collections::HashSet<_> = v.iter().copied().collect();
+                assert_eq!(set.len(), amount, "duplicates in {v:?}");
+                assert!(v.iter().all(|&i| i < length));
+            }
+        }
+    }
+
+    #[test]
+    fn index_sample_covers_positions_uniformly() {
+        // Every index should appear in every output position eventually —
+        // checks the order is random, not sorted (Floyd without the final
+        // shuffle would leave late indices biased toward late positions).
+        let mut rng = StdRng::seed_from_u64(29);
+        for (length, amount) in [(6usize, 3usize), (64, 2)] {
+            let mut seen = vec![[false; 2]; length];
+            for _ in 0..3000 {
+                let v = super::seq::index::sample(&mut rng, length, amount).into_vec();
+                seen[v[0]][0] = true;
+                seen[v[amount - 1]][1] = true;
+            }
+            assert!(
+                seen.iter().all(|s| s[0] && s[1]),
+                "length={length} amount={amount}: some index never hit a position"
+            );
+        }
+    }
+
+    #[test]
+    fn index_sample_full_draw_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut v = super::seq::index::sample(&mut rng, 20, 20).into_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn index_sample_rejects_oversized_amount() {
+        let mut rng = StdRng::seed_from_u64(37);
+        super::seq::index::sample(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn index_sample_zero_amount() {
+        let mut rng = StdRng::seed_from_u64(41);
+        assert!(super::seq::index::sample(&mut rng, 100, 0).is_empty());
     }
 }
