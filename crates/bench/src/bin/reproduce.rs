@@ -1,13 +1,19 @@
 //! Regenerate the paper's result tables.
 //!
 //! ```text
-//! reproduce [--quick] [--check] [--json FILE] [all | e1 .. e19]...
+//! reproduce [--quick] [--check] [--json FILE] [--telemetry DIR] [all | e1 .. e19]...
 //! ```
 //!
 //! `--check` additionally runs the model-conformance sweep — the
 //! differential grid of `{Sequential, Parallel} × {fault-free, faulted}`
 //! audited runs — after the experiments, and exits nonzero if any cell
 //! reports a violation, an engine divergence, or an incorrect outcome.
+//!
+//! `--telemetry DIR` re-runs one representative workload per selected
+//! experiment under a `congest::telemetry::Collector` and writes
+//! `DIR/<id>.trace.jsonl` (Chrome trace-event / Perfetto-loadable, round
+//! index timebase) and `DIR/<id>.metrics.json` (counters, histograms,
+//! span rollup, per-edge loads).
 
 use dqc_bench::{run_one, Scale};
 
@@ -35,6 +41,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
+    let mut telemetry_dir: Option<String> = None;
     let mut check = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -42,9 +49,13 @@ fn main() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--json" => json_path = it.next(),
+            "--telemetry" => telemetry_dir = it.next(),
             "--check" => check = true,
             "--help" | "-h" => {
-                eprintln!("usage: reproduce [--quick] [--check] [--json FILE] [all | e1 .. e19]...");
+                eprintln!(
+                    "usage: reproduce [--quick] [--check] [--json FILE] [--telemetry DIR] \
+                     [all | e1 .. e19]..."
+                );
                 return;
             }
             other => wanted.push(other.to_string()),
@@ -67,6 +78,17 @@ fn main() {
         let json = dqc_bench::table::tables_to_json(&tables);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
+    }
+    if let Some(dir) = telemetry_dir {
+        std::fs::create_dir_all(&dir).expect("create telemetry dir");
+        for id in &wanted {
+            let Some(col) = dqc_bench::telemetry::collect(id, scale) else { continue };
+            let trace = format!("{dir}/{id}.trace.jsonl");
+            let metrics = format!("{dir}/{id}.metrics.json");
+            std::fs::write(&trace, col.to_chrome_jsonl()).expect("write trace");
+            std::fs::write(&metrics, col.metrics_json()).expect("write metrics");
+            eprintln!("wrote {trace} + {metrics}");
+        }
     }
     if check && !conformance_sweep() {
         std::process::exit(1);

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod table;
+pub mod telemetry;
 
 pub use experiments::{run_all, run_one, Scale};
 pub use table::Table;

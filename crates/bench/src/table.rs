@@ -195,6 +195,23 @@ mod tests {
     }
 
     #[test]
+    fn json_string_adversarial() {
+        // RFC 8259 §7: quote, backslash, and all controls < 0x20 must be
+        // escaped; everything else (including non-ASCII) passes through.
+        assert_eq!(json_string(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(json_string(r"back\slash"), r#""back\\slash""#);
+        assert_eq!(json_string("nl\ncr\rtab\t"), r#""nl\ncr\rtab\t""#);
+        assert_eq!(json_string("\u{0}\u{1f}"), r#""\u0000\u001f""#);
+        assert_eq!(json_string("Ω(√n) ≈ 7 — naïve"), "\"Ω(√n) ≈ 7 — naïve\"");
+        assert_eq!(json_string(""), "\"\"");
+        // The classic breakout attempt: a cell trying to close the string
+        // and inject a sibling key stays inert.
+        let hostile = json_string("\",\"injected\":true,\"x\":\"");
+        assert_eq!(hostile, r#""\",\"injected\":true,\"x\":\"""#);
+        assert!(!hostile.contains(r#"","injected""#));
+    }
+
+    #[test]
     fn json_empty_rows() {
         let t = Table::new("E0", "t", "c", &["h"]);
         assert!(t.to_json(0).contains("\"rows\": []"));

@@ -440,14 +440,9 @@ impl<P: NodeProtocol> NodeProtocol for Reliable<P> {
         inner_out.clear();
         {
             let neighbors = ctx.neighbors();
-            let mut inner_ctx = Ctx::internal(
-                ctx.me(),
-                round,
-                ctx.n(),
-                ctx.cap_bits(),
-                neighbors,
-                &mut inner_out,
-            );
+            let (me, n, cap) = (ctx.me(), ctx.n(), ctx.cap_bits());
+            let mut inner_ctx =
+                Ctx::internal(me, round, n, cap, neighbors, &mut inner_out, ctx.tel_shard());
             self.inner.on_round(&mut inner_ctx, &self.delivered);
         }
         for (to, m) in inner_out.drain(..) {
@@ -467,6 +462,7 @@ impl<P: NodeProtocol> NodeProtocol for Reliable<P> {
             if link.ack_pending {
                 link.ack_pending = false;
                 ctx.send(link.peer, ReliableMsg::Ack { seq: link.recv_expected.wrapping_sub(1) });
+                ctx.count("reliable.acks", 1);
             }
             match &mut link.in_flight {
                 None => {
@@ -474,6 +470,7 @@ impl<P: NodeProtocol> NodeProtocol for Reliable<P> {
                         let seq = link.next_seq;
                         link.next_seq += 1;
                         ctx.send(link.peer, ReliableMsg::Data { seq, payload: m.clone() });
+                        ctx.count("reliable.sends", 1);
                         link.in_flight = Some(InFlight {
                             seq,
                             msg: m,
@@ -490,13 +487,17 @@ impl<P: NodeProtocol> NodeProtocol for Reliable<P> {
                             to: link.peer,
                             attempts: f.attempts,
                         });
+                        ctx.count("reliable.exhausted", 1);
                     } else {
                         f.attempts += 1;
                         ctx.send(
                             link.peer,
                             ReliableMsg::Data { seq: f.seq, payload: f.msg.clone() },
                         );
-                        f.retry_at = round + self.cfg.timeout(f.attempts);
+                        let backoff = self.cfg.timeout(f.attempts);
+                        f.retry_at = round + backoff;
+                        ctx.count("reliable.retries", 1);
+                        ctx.observe("reliable.backoff", backoff as u64);
                     }
                 }
                 Some(_) => {}

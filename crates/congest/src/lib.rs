@@ -22,7 +22,10 @@
 //!   ack/retry wrapper for loss tolerance;
 //! * [`conformance`] — audited runs that report every model-contract
 //!   breach with round/edge provenance, plus a cross-engine differential
-//!   checker.
+//!   checker;
+//! * [`telemetry`] — structured, deterministic run telemetry: hierarchical
+//!   spans on the round timebase, counters/histograms, per-edge load, and
+//!   Perfetto-compatible trace export.
 //!
 //! Rounds are *measured by execution*, never computed from formulas: every
 //! protocol here is an honest message-passing state machine, and the engine
@@ -54,6 +57,7 @@ pub mod faults;
 pub mod generators;
 pub mod graph;
 pub mod runtime;
+pub mod telemetry;
 pub mod tree_comm;
 
 pub use graph::{Dist, Graph, NodeId};

@@ -19,6 +19,7 @@
 use crate::conformance::Violation;
 use crate::faults::{Delivery, FaultPlan};
 use crate::graph::{bits_for, Graph, NodeId};
+use crate::telemetry::{Collector, Shard};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -79,6 +80,9 @@ pub struct Ctx<'a, M> {
     cap_bits: u64,
     neighbors: &'a [NodeId],
     out: &'a mut Vec<(NodeId, M)>,
+    /// Telemetry staging buffer; `None` on untelemetered runs, so the
+    /// instrumentation methods compile to a null check.
+    tel: Option<&'a mut Shard>,
 }
 
 impl<M> fmt::Debug for Ctx<'_, M> {
@@ -101,8 +105,16 @@ impl<'a, M: MessageSize> Ctx<'a, M> {
         cap_bits: u64,
         neighbors: &'a [NodeId],
         out: &'a mut Vec<(NodeId, M)>,
+        tel: Option<&'a mut Shard>,
     ) -> Self {
-        Ctx { me, round, n, cap_bits, neighbors, out }
+        Ctx { me, round, n, cap_bits, neighbors, out, tel }
+    }
+
+    /// Reborrow this context's telemetry buffer so a wrapper (e.g.
+    /// [`Reliable`](crate::faults::Reliable)) can hand it to an inner
+    /// protocol's context.
+    pub(crate) fn tel_shard(&mut self) -> Option<&mut Shard> {
+        self.tel.as_deref_mut()
     }
 
     /// This node's identifier.
@@ -172,6 +184,44 @@ impl<'a, M: MessageSize> Ctx<'a, M> {
         I: IntoIterator<Item = (NodeId, M)>,
     {
         self.out.extend(msgs);
+    }
+
+    /// Whether this run records telemetry (i.e. it was started with
+    /// [`Network::run_telemetry`]). Protocols can use this to skip
+    /// building labels for [`mark`](Self::mark) on untelemetered runs;
+    /// [`count`](Self::count) and [`observe`](Self::observe) are cheap
+    /// enough to call unconditionally.
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.tel.is_some()
+    }
+
+    /// Emit an instant telemetry event at this node and round (e.g.
+    /// `"became-leader"`). No-op unless the run records telemetry.
+    #[inline]
+    pub fn mark(&mut self, label: &str) {
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.marks.push((self.me, label.to_string()));
+        }
+    }
+
+    /// Add `v` to a named telemetry counter (e.g.
+    /// `("reliable.retries", 1)`). No-op unless the run records telemetry;
+    /// the static name means the disabled path allocates nothing.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, v: u64) {
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.counts.push((name, v));
+        }
+    }
+
+    /// Record `v` in a named telemetry histogram (e.g. a backoff wait in
+    /// rounds). No-op unless the run records telemetry.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        if let Some(t) = self.tel.as_deref_mut() {
+            t.observations.push((name, v));
+        }
     }
 }
 
@@ -297,12 +347,19 @@ pub struct Trace {
 
 impl Trace {
     /// The round with the highest bit volume, if any traffic flowed.
+    ///
+    /// Ties are resolved to the **first** such round. This tie-break is
+    /// part of the API contract: peak rounds are compared when diffing
+    /// traces across engines and replays, so the choice must not depend
+    /// on iteration internals.
     pub fn peak_round(&self) -> Option<(usize, &RoundTrace)> {
-        self.rounds
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, r)| r.bits)
-            .filter(|(_, r)| r.bits > 0)
+        let mut best: Option<(usize, &RoundTrace)> = None;
+        for (i, r) in self.rounds.iter().enumerate() {
+            if best.is_none_or(|(_, b): (usize, &RoundTrace)| r.bits > b.bits) {
+                best = Some((i, r));
+            }
+        }
+        best.filter(|(_, r)| r.bits > 0)
     }
 
     /// Total delivered bits.
@@ -310,17 +367,49 @@ impl Trace {
         self.rounds.iter().map(|r| r.bits).sum()
     }
 
-    /// Render an ASCII per-round bit-volume histogram, `width` columns.
+    /// Render an ASCII bit-volume histogram, `width` columns.
+    ///
+    /// Output is bounded: traces with at most `width` rounds get one
+    /// exact line per round; longer traces are bucketed into at most
+    /// `width` contiguous round groups (each line sums its group's bits
+    /// and messages), so an 18 000-round trace renders in `width` lines
+    /// instead of 18 000.
     pub fn render(&self, width: usize) -> String {
-        let max = self.rounds.iter().map(|r| r.bits).max().unwrap_or(0).max(1);
+        let width = width.max(1);
         let mut out = String::new();
-        for (i, r) in self.rounds.iter().enumerate() {
-            let bar = (r.bits * width as u64 / max) as usize;
+        if self.rounds.len() <= width {
+            let max = self.rounds.iter().map(|r| r.bits).max().unwrap_or(0).max(1);
+            for (i, r) in self.rounds.iter().enumerate() {
+                let bar = (r.bits * width as u64 / max) as usize;
+                out.push_str(&format!(
+                    "round {i:>4} | {:<width$} | {:>6} bits, {:>4} msgs\n",
+                    "#".repeat(bar),
+                    r.bits,
+                    r.messages,
+                    width = width
+                ));
+            }
+            return out;
+        }
+        let per = self.rounds.len().div_ceil(width);
+        let groups: Vec<(usize, usize, u64, u64)> = self
+            .rounds
+            .chunks(per)
+            .enumerate()
+            .map(|(g, chunk)| {
+                let start = g * per;
+                let end = start + chunk.len() - 1;
+                let bits: u64 = chunk.iter().map(|r| r.bits).sum();
+                let msgs: u64 = chunk.iter().map(|r| r.messages).sum();
+                (start, end, bits, msgs)
+            })
+            .collect();
+        let max = groups.iter().map(|&(_, _, b, _)| b).max().unwrap_or(0).max(1);
+        for (start, end, bits, msgs) in groups {
+            let bar = (bits * width as u64 / max) as usize;
             out.push_str(&format!(
-                "round {i:>4} | {:<width$} | {:>6} bits, {:>4} msgs\n",
+                "rounds {start:>5}-{end:<5} | {:<width$} | {bits:>8} bits, {msgs:>6} msgs\n",
                 "#".repeat(bar),
-                r.bits,
-                r.messages,
                 width = width
             ));
         }
@@ -483,8 +572,34 @@ impl<'g> Network<'g> {
         P::Msg: Send + Sync,
     {
         match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, None, None),
-            threads => self.run_parallel_impl(nodes, None, None, threads),
+            1 => self.run_impl(nodes, None, None, None),
+            threads => self.run_parallel_impl(nodes, None, None, None, threads),
+        }
+    }
+
+    /// Like [`run`](Self::run), but records structured telemetry into
+    /// `tel`: per-round samples, per-edge cumulative load, and any
+    /// marks/counters/histograms the protocol emits through
+    /// [`Ctx::mark`]/[`Ctx::count`]/[`Ctx::observe`]. The run is wrapped
+    /// in no span — callers typically bracket it with
+    /// [`Collector::enter`]/[`Collector::exit`]; the collector's cursor
+    /// advances by the run's measured rounds.
+    ///
+    /// Recording is deterministic: the same run produces byte-identical
+    /// collector exports under every [`EngineMode`] (see the
+    /// [`telemetry`](crate::telemetry) module docs for the contract).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_telemetry<P>(&self, nodes: Vec<P>, tel: &mut Collector) -> Result<Run<P>, RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        match self.effective_threads(nodes.len()) {
+            1 => self.run_impl(nodes, None, None, Some(tel)),
+            threads => self.run_parallel_impl(nodes, None, None, Some(tel), threads),
         }
     }
 
@@ -502,8 +617,8 @@ impl<'g> Network<'g> {
     {
         let mut trace = Trace::default();
         let run = match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, Some(&mut trace), None)?,
-            threads => self.run_parallel_impl(nodes, Some(&mut trace), None, threads)?,
+            1 => self.run_impl(nodes, Some(&mut trace), None, None)?,
+            threads => self.run_parallel_impl(nodes, Some(&mut trace), None, None, threads)?,
         };
         trace.rounds.truncate(run.stats.rounds);
         Ok((run, trace))
@@ -534,9 +649,15 @@ impl<'g> Network<'g> {
         let mut trace = Trace::default();
         let mut violations = Vec::new();
         let run = match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, Some(&mut trace), Some(&mut violations))?,
+            1 => self.run_impl(nodes, Some(&mut trace), Some(&mut violations), None)?,
             threads => {
-                self.run_parallel_impl(nodes, Some(&mut trace), Some(&mut violations), threads)?
+                self.run_parallel_impl(
+                    nodes,
+                    Some(&mut trace),
+                    Some(&mut violations),
+                    None,
+                    threads,
+                )?
             }
         };
         trace.rounds.truncate(run.stats.rounds);
@@ -552,7 +673,22 @@ impl<'g> Network<'g> {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_sequential<P: NodeProtocol>(&self, nodes: Vec<P>) -> Result<Run<P>, RuntimeError> {
-        self.run_impl(nodes, None, None)
+        self.run_impl(nodes, None, None, None)
+    }
+
+    /// [`run_telemetry`](Self::run_telemetry) on the single-threaded
+    /// engine — the only telemetry entry point for protocols whose state
+    /// is not `Send`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_sequential_telemetry<P: NodeProtocol>(
+        &self,
+        nodes: Vec<P>,
+        tel: &mut Collector,
+    ) -> Result<Run<P>, RuntimeError> {
+        self.run_impl(nodes, None, None, Some(tel))
     }
 
     /// [`run_traced`](Self::run_traced) on the single-threaded engine.
@@ -565,7 +701,7 @@ impl<'g> Network<'g> {
         nodes: Vec<P>,
     ) -> Result<(Run<P>, Trace), RuntimeError> {
         let mut trace = Trace::default();
-        let run = self.run_impl(nodes, Some(&mut trace), None)?;
+        let run = self.run_impl(nodes, Some(&mut trace), None, None)?;
         trace.rounds.truncate(run.stats.rounds);
         Ok((run, trace))
     }
@@ -589,6 +725,7 @@ impl<'g> Network<'g> {
         router: &mut Router,
         (stats, acc): (&mut RunStats, &mut RoundAccum),
         mut audit: Option<&mut Vec<Violation>>,
+        edges: Option<&mut Vec<(NodeId, NodeId, u64)>>,
     ) -> Result<(), RuntimeError> {
         for (idx, (to, msg)) in outbox.drain(..).enumerate() {
             let Some(rank) = self.graph.neighbor_rank(from, to) else {
@@ -659,7 +796,7 @@ impl<'g> Network<'g> {
                 wheel.schedule(delay, to, from, msg);
             }
         }
-        router.flush(from, self.graph.neighbors(from), stats, acc);
+        router.flush(from, self.graph.neighbors(from), stats, acc, edges);
         Ok(())
     }
 
@@ -668,6 +805,7 @@ impl<'g> Network<'g> {
         mut nodes: Vec<P>,
         mut trace: Option<&mut Trace>,
         mut audit: Option<&mut Vec<Violation>>,
+        mut tel: Option<&mut Collector>,
     ) -> Result<Run<P>, RuntimeError> {
         let n = self.graph.n();
         if nodes.len() != n {
@@ -680,6 +818,13 @@ impl<'g> Network<'g> {
         let mut router = Router::new(self.graph.max_degree());
         let mut wheel = DelayWheel::new();
         let mut last_active_round = 0usize;
+        let mut shard = match tel.as_deref_mut() {
+            Some(col) => {
+                col.begin_engine_run();
+                Some(Shard::default())
+            }
+            None => None,
+        };
 
         for round in 0..self.max_rounds {
             let mut any_sent = false;
@@ -694,6 +839,7 @@ impl<'g> Network<'g> {
                         cap_bits: self.cap_bits,
                         neighbors: self.graph.neighbors(v),
                         out: &mut outbox,
+                        tel: shard.as_mut(),
                     };
                     nodes[v].on_round(&mut ctx, &inboxes[v]);
                 }
@@ -710,6 +856,7 @@ impl<'g> Network<'g> {
                     &mut router,
                     (&mut stats, &mut acc),
                     audit.as_deref_mut(),
+                    shard.as_mut().map(|s| &mut s.edges),
                 )?;
             }
             if let Some(e) = nodes.iter().find_map(|p| p.failure()) {
@@ -726,6 +873,17 @@ impl<'g> Network<'g> {
                     dropped: acc.dropped,
                 });
             }
+            if let (Some(col), Some(sh)) = (tel.as_deref_mut(), shard.as_mut()) {
+                col.engine_round(
+                    RoundTrace {
+                        messages: acc.messages,
+                        bits: acc.bits,
+                        busiest_edge: acc.busiest,
+                        dropped: acc.dropped,
+                    },
+                    sh,
+                );
+            }
             // Delayed messages that matured this round arrive with the next
             // round's inboxes, after every regular send; like a regular
             // send, a matured delivery keeps the run active.
@@ -735,6 +893,9 @@ impl<'g> Network<'g> {
             let in_flight = next_inboxes.iter().any(|b| !b.is_empty()) || !wheel.is_empty();
             if !in_flight && nodes.iter().all(|p| p.is_done()) {
                 stats.rounds = last_active_round;
+                if let Some(col) = tel {
+                    col.finish_engine_run(&stats);
+                }
                 return Ok(Run { nodes, stats });
             }
             for v in 0..n {
@@ -749,6 +910,7 @@ impl<'g> Network<'g> {
     /// starting at id `base`, staging validated sends and statistics in
     /// `lane`. Stops at the chunk's first error, exactly where the
     /// sequential engine would.
+    #[allow(clippy::too_many_arguments)] // internal hot path; grouping into a struct buys nothing
     fn round_for_chunk<P: NodeProtocol>(
         &self,
         round: usize,
@@ -757,6 +919,7 @@ impl<'g> Network<'g> {
         inboxes: &[Vec<(NodeId, P::Msg)>],
         lane: &mut Lane<P::Msg>,
         audit: bool,
+        telemetry: bool,
     ) {
         let n = self.graph.n();
         lane.result = LaneResult::default();
@@ -771,6 +934,7 @@ impl<'g> Network<'g> {
                     cap_bits: self.cap_bits,
                     neighbors: self.graph.neighbors(v),
                     out: &mut lane.outbox,
+                    tel: if telemetry { Some(&mut lane.shard) } else { None },
                 };
                 node.on_round(&mut ctx, &inboxes[v]);
             }
@@ -846,6 +1010,7 @@ impl<'g> Network<'g> {
                 self.graph.neighbors(v),
                 &mut lane.result.stats,
                 &mut lane.result.acc,
+                if telemetry { Some(&mut lane.shard.edges) } else { None },
             );
         }
     }
@@ -862,6 +1027,7 @@ impl<'g> Network<'g> {
         mut nodes: Vec<P>,
         mut trace: Option<&mut Trace>,
         mut audit: Option<&mut Vec<Violation>>,
+        mut tel: Option<&mut Collector>,
         threads: usize,
     ) -> Result<Run<P>, RuntimeError>
     where
@@ -875,12 +1041,14 @@ impl<'g> Network<'g> {
         let chunk_len = n.div_ceil(threads);
         let max_degree = self.graph.max_degree();
         let auditing = audit.is_some();
+        let telemetering = tel.is_some();
         let mut lanes: Vec<Lane<P::Msg>> = (0..threads)
             .map(|_| Lane {
                 outbox: Vec::new(),
                 router: Router::new(max_degree),
                 sends: Vec::new(),
                 result: LaneResult::default(),
+                shard: Shard::default(),
             })
             .collect();
         let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
@@ -888,6 +1056,13 @@ impl<'g> Network<'g> {
         let mut stats = RunStats::default();
         let mut wheel = DelayWheel::new();
         let mut last_active_round = 0usize;
+        // Per-lane telemetry shards are merged into this buffer in chunk
+        // (= node id) order each round, reproducing the sequential
+        // engine's emission order exactly.
+        let mut round_shard = Shard::default();
+        if let Some(col) = tel.as_deref_mut() {
+            col.begin_engine_run();
+        }
 
         for round in 0..self.max_rounds {
             {
@@ -904,6 +1079,7 @@ impl<'g> Network<'g> {
                                 inboxes,
                                 lane,
                                 auditing,
+                                telemetering,
                             );
                         });
                     }
@@ -937,6 +1113,12 @@ impl<'g> Network<'g> {
                 if let Some(sink) = audit.as_deref_mut() {
                     sink.append(&mut lane.result.violations);
                 }
+                if telemetering {
+                    round_shard.marks.append(&mut lane.shard.marks);
+                    round_shard.counts.append(&mut lane.shard.counts);
+                    round_shard.observations.append(&mut lane.shard.observations);
+                    round_shard.edges.append(&mut lane.shard.edges);
+                }
                 for (to, from, delay, msg) in lane.sends.drain(..) {
                     if delay == 0 {
                         next_inboxes[to].push((from, msg));
@@ -959,12 +1141,26 @@ impl<'g> Network<'g> {
                     dropped: acc.dropped,
                 });
             }
+            if let Some(col) = tel.as_deref_mut() {
+                col.engine_round(
+                    RoundTrace {
+                        messages: acc.messages,
+                        bits: acc.bits,
+                        busiest_edge: acc.busiest,
+                        dropped: acc.dropped,
+                    },
+                    &mut round_shard,
+                );
+            }
             if wheel.pop_due(&mut next_inboxes) {
                 last_active_round = round + 1;
             }
             let in_flight = next_inboxes.iter().any(|b| !b.is_empty()) || !wheel.is_empty();
             if !in_flight && nodes.iter().all(|p| p.is_done()) {
                 stats.rounds = last_active_round;
+                if let Some(col) = tel {
+                    col.finish_engine_run(&stats);
+                }
                 return Ok(Run { nodes, stats });
             }
             for v in 0..n {
@@ -996,13 +1192,27 @@ impl Router {
     /// Fold the touched per-edge loads of sender `from` into the run and
     /// round accumulators, and reset the slots for the next sender.
     #[inline]
-    fn flush(&mut self, from: NodeId, neighbors: &[NodeId], stats: &mut RunStats, acc: &mut RoundAccum) {
+    fn flush(
+        &mut self,
+        from: NodeId,
+        neighbors: &[NodeId],
+        stats: &mut RunStats,
+        acc: &mut RoundAccum,
+        mut edges: Option<&mut Vec<(NodeId, NodeId, u64)>>,
+    ) {
         for &r in &self.touched {
             let load = self.slots[r];
             self.slots[r] = 0;
             stats.max_edge_bits = stats.max_edge_bits.max(load);
             if acc.busiest.is_none_or(|(_, _, b)| load > b) {
                 acc.busiest = Some((from, neighbors[r], load));
+            }
+            // Telemetry-only per-edge load feed; `load == 0` slots (from a
+            // zero-size message's double-push) are skipped like elsewhere.
+            if load > 0 {
+                if let Some(sink) = edges.as_deref_mut() {
+                    sink.push((from, neighbors[r], load));
+                }
             }
         }
         self.touched.clear();
@@ -1041,6 +1251,9 @@ struct Lane<M> {
     /// coordinating thread. `delay == 0` means normal next-round delivery.
     sends: Vec<(NodeId, NodeId, u32, M)>,
     result: LaneResult,
+    /// Telemetry staged by this lane's chunk, drained by the coordinator
+    /// in chunk order each round (empty on untelemetered runs).
+    shard: Shard,
 }
 
 /// Future deliveries scheduled by a delaying fault plan.
@@ -1386,6 +1599,55 @@ mod tests {
                 assert!(bits <= net.cap_bits());
             }
         }
+    }
+
+    #[test]
+    fn trace_render_output_is_bounded() {
+        // E6-sized traces (~18k rounds) must render in at most `width`
+        // lines, not one line per round.
+        let mut trace = Trace::default();
+        for i in 0..18_000u64 {
+            trace.rounds.push(RoundTrace {
+                messages: 1 + i % 7,
+                bits: 8 + i % 129,
+                busiest_edge: None,
+                dropped: 0,
+            });
+        }
+        let rendered = trace.render(40);
+        assert!(rendered.lines().count() <= 40, "{} lines", rendered.lines().count());
+        assert!(rendered.contains("rounds "));
+        // The grouped lines still account for every bit and message.
+        let bits_sum: u64 = rendered
+            .lines()
+            .map(|l| {
+                let tail = l.split('|').nth(2).unwrap();
+                tail.split_whitespace().next().unwrap().parse::<u64>().unwrap()
+            })
+            .sum();
+        assert_eq!(bits_sum, trace.total_bits());
+        // Small traces keep the exact per-round form.
+        let mut small = Trace::default();
+        for _ in 0..5 {
+            small.rounds.push(RoundTrace { messages: 1, bits: 4, ..Default::default() });
+        }
+        let rendered = small.render(40);
+        assert_eq!(rendered.lines().count(), 5);
+        assert!(rendered.contains("round    0 |"));
+    }
+
+    #[test]
+    fn peak_round_ties_break_to_first() {
+        let mut trace = Trace::default();
+        for bits in [3u64, 9, 1, 9, 2] {
+            trace.rounds.push(RoundTrace { messages: 1, bits, ..Default::default() });
+        }
+        let (idx, peak) = trace.peak_round().unwrap();
+        assert_eq!(idx, 1, "tie between rounds 1 and 3 must pin to the first");
+        assert_eq!(peak.bits, 9);
+        // All-quiet traces report no peak.
+        let quiet = Trace { rounds: vec![RoundTrace::default(); 4] };
+        assert!(quiet.peak_round().is_none());
     }
 
     #[test]

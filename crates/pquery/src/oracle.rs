@@ -67,6 +67,10 @@ pub struct VecSource {
     p: usize,
     batches: usize,
     queries: u64,
+    /// Width of each charged batch, in charge order — the raw series
+    /// behind idle-width telemetry (E15's pathology is visible here as a
+    /// long run of widths far below `p`).
+    widths: Vec<u32>,
 }
 
 impl VecSource {
@@ -78,18 +82,34 @@ impl VecSource {
     pub fn new(data: Vec<u64>, p: usize) -> Self {
         assert!(!data.is_empty(), "oracle needs at least one item");
         assert!(p >= 1, "batch width must be at least 1");
-        VecSource { data, p, batches: 0, queries: 0 }
+        VecSource { data, p, batches: 0, queries: 0, widths: Vec::new() }
     }
 
     /// Reset the ledger (data unchanged).
     pub fn reset_ledger(&mut self) {
         self.batches = 0;
         self.queries = 0;
+        self.widths.clear();
     }
 
     /// The underlying data.
     pub fn data(&self) -> &[u64] {
         &self.data
+    }
+
+    /// The width of every charged batch, in charge order.
+    pub fn batch_widths(&self) -> &[u32] {
+        &self.widths
+    }
+
+    /// Total unused batch capacity so far: `p · batches − queries`.
+    ///
+    /// Each batch is charged as one use of `O^{⊗p}` regardless of how many
+    /// of its `p` query slots carry an index, so this is the cost the
+    /// Definition 1 accounting pays for under-filled batches — the
+    /// quantity E15 measures for Le Gall–Magniez distinctness.
+    pub fn idle_slots(&self) -> u64 {
+        self.p as u64 * self.batches as u64 - self.queries
     }
 }
 
@@ -107,6 +127,7 @@ impl BatchSource for VecSource {
         assert!(!indices.is_empty(), "empty batch");
         self.batches += 1;
         self.queries += indices.len() as u64;
+        self.widths.push(indices.len() as u32);
         indices
             .iter()
             .map(|&i| {
@@ -145,6 +166,20 @@ mod tests {
         s.query(&(0..10).collect::<Vec<_>>());
         assert_eq!(s.batches(), 2);
         assert_eq!(s.queries(), 13);
+        assert_eq!(s.batch_widths(), &[3, 10]);
+        // Batch 1 left 7 of its 10 slots idle; batch 2 was full.
+        assert_eq!(s.idle_slots(), 7);
+    }
+
+    #[test]
+    fn width_log_resets_with_ledger() {
+        let mut s = VecSource::new(vec![1, 2, 3], 2);
+        s.query(&[0]);
+        assert_eq!(s.batch_widths(), &[1]);
+        assert_eq!(s.idle_slots(), 1);
+        s.reset_ledger();
+        assert!(s.batch_widths().is_empty());
+        assert_eq!(s.idle_slots(), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::complex::{c64, C64};
 use crate::kernels::DiagTerm;
+use crate::metrics;
 use crate::state::State;
 use std::f64::consts::FRAC_1_SQRT_2;
 
@@ -205,6 +206,8 @@ impl Circuit {
             pending = pending.absorb(op, &mut out);
         }
         pending.flush(&mut out);
+        metrics::bump(metrics::Counter::FuseGatesIn, self.ops.len() as u64);
+        metrics::bump(metrics::Counter::FuseGroups, out.len() as u64);
         FusedCircuit { n: self.n, ops: out }
     }
 
@@ -326,8 +329,15 @@ impl FusedCircuit {
         assert!(state.num_qubits() >= self.n, "state too small for circuit");
         for op in &self.ops {
             match op {
-                FusedOp::Matrix { ctrl_mask, q, m } => state.apply_masked_1q(*ctrl_mask, *q, *m),
-                FusedOp::Diagonal(terms) => state.apply_diag_terms(terms),
+                FusedOp::Matrix { ctrl_mask, q, m } => {
+                    metrics::bump(metrics::Counter::MatrixApplies, 1);
+                    state.apply_masked_1q(*ctrl_mask, *q, *m);
+                }
+                FusedOp::Diagonal(terms) => {
+                    metrics::bump(metrics::Counter::DiagSweeps, 1);
+                    metrics::bump(metrics::Counter::DiagTerms, terms.len() as u64);
+                    state.apply_diag_terms(terms);
+                }
             }
         }
     }

@@ -115,6 +115,8 @@ pub fn apply_1q(amps: &mut [C64], q: usize, m: [[C64; 2]; 2], threads: usize) {
     let block = bit << 1;
     assert!(amps.len().is_multiple_of(block), "state too small for qubit {q}");
     let threads = threads.max(1);
+    crate::metrics::bump(crate::metrics::Counter::KernelLaunches, 1);
+    crate::metrics::bump(crate::metrics::Counter::KernelThreads, threads as u64);
     if threads == 1 {
         apply_1q_seq(amps, bit, &m);
         return;
@@ -211,6 +213,9 @@ pub fn apply_controlled_1q(
     let free = n - nf;
     let count = 1usize << free;
     let threads = threads.max(1).min(count);
+    // The ctrl_mask == 0 case already counted inside its apply_1q call.
+    crate::metrics::bump(crate::metrics::Counter::KernelLaunches, 1);
+    crate::metrics::bump(crate::metrics::Counter::KernelThreads, threads as u64);
     if threads == 1 {
         for c in 0..count {
             let i = expand(c, fixed) | ctrl_mask;
@@ -326,6 +331,9 @@ pub fn apply_diag(amps: &mut [C64], terms: &[DiagTerm], threads: usize) {
     let block_len = DIAG_BLOCK.min(amps.len());
     let blocks = amps.len() / block_len;
     let threads = threads.max(1).min(blocks);
+    crate::metrics::bump(crate::metrics::Counter::KernelLaunches, 1);
+    crate::metrics::bump(crate::metrics::Counter::KernelThreads, threads as u64);
+    crate::metrics::bump(crate::metrics::Counter::DiagBlocks, blocks as u64);
     if threads == 1 {
         diag_sweep_run(amps, 0, terms, block_len);
         return;

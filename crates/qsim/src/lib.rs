@@ -42,6 +42,7 @@ pub mod deutsch_jozsa;
 pub mod gf2;
 pub mod grover;
 pub mod kernels;
+pub mod metrics;
 pub mod oracle;
 pub mod phase_estimation;
 pub mod qft;
