@@ -110,11 +110,9 @@ fn bench_flood(c: &mut Criterion) {
             // The grid rounds n to side·rows; size protocols off the graph.
             let nn = g.n();
             let net = Network::new(&g);
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("n{n}")),
-                &nn,
-                |b, &nn| b.iter(|| net.run(flood_nodes(nn)).unwrap().stats),
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("n{n}")), &nn, |b, &nn| {
+                b.iter(|| net.run(flood_nodes(nn)).unwrap().stats)
+            });
         }
     }
     group.finish();
@@ -131,11 +129,9 @@ fn bench_broadcast(c: &mut Criterion) {
             // n, so raise the cap uniformly.
             let nn = g.n();
             let net = Network::new(&g).with_bandwidth(64);
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("n{n}")),
-                &nn,
-                |b, &nn| b.iter(|| net.run(chatter_nodes(nn, CHATTER_ROUNDS)).unwrap().stats),
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("n{n}")), &nn, |b, &nn| {
+                b.iter(|| net.run(chatter_nodes(nn, CHATTER_ROUNDS)).unwrap().stats)
+            });
         }
     }
     group.finish();
@@ -153,11 +149,9 @@ fn bench_bfs(c: &mut Criterion) {
             }
             let nn = g.n();
             let net = Network::new(&g);
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("n{n}")),
-                &nn,
-                |b, &nn| b.iter(|| net.run(BfsTreeProtocol::instances(nn, 0)).unwrap().stats),
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("n{n}")), &nn, |b, &nn| {
+                b.iter(|| net.run(BfsTreeProtocol::instances(nn, 0)).unwrap().stats)
+            });
         }
     }
     group.finish();

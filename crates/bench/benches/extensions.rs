@@ -24,9 +24,7 @@ fn bench_extensions(c: &mut Criterion) {
     let sg = grid(3, 3);
     let snet = Network::new(&sg);
     let sinst = SimonInstance::random(9, 10, 0b1000000011, 4);
-    group.bench_function("simon_m10", |b| {
-        b.iter(|| quantum_simon(&snet, &sinst, 5).unwrap())
-    });
+    group.bench_function("simon_m10", |b| b.iter(|| quantum_simon(&snet, &sinst, 5).unwrap()));
 
     let bg = grid(5, 4);
     let bnet = Network::new(&bg);

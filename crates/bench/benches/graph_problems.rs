@@ -34,9 +34,7 @@ fn bench_graph_problems(c: &mut Criterion) {
     group.bench_function("cycle_detect_k6_n100", |b| {
         b.iter(|| quantum_cycle_detection(&net, 6, 3).unwrap())
     });
-    group.bench_function("girth_n100", |b| {
-        b.iter(|| quantum_girth(&net, 0.5, 3).unwrap())
-    });
+    group.bench_function("girth_n100", |b| b.iter(|| quantum_girth(&net, 0.5, 3).unwrap()));
     group.finish();
 }
 

@@ -1,8 +1,12 @@
 //! Regenerate the paper's result tables.
 //!
 //! ```text
-//! reproduce [--quick] [--check] [--json FILE] [--telemetry DIR] [all | e1 .. e19]...
+//! reproduce [--list] [--quick] [--check] [--json FILE] [--telemetry DIR] [all | e1 .. e19]...
 //! ```
+//!
+//! `--list` prints the experiment catalog (id + one-line description) and
+//! exits. Unknown experiment ids are rejected before anything runs, with a
+//! nonzero exit status.
 //!
 //! `--check` additionally runs the model-conformance sweep — the
 //! differential grid of `{Sequential, Parallel} × {fault-free, faulted}`
@@ -15,7 +19,7 @@
 //! index timebase) and `DIR/<id>.metrics.json` (counters, histograms,
 //! span rollup, per-edge loads).
 
-use dqc_bench::{run_one, Scale};
+use dqc_bench::{catalog, run_one, Scale};
 
 fn conformance_sweep() -> bool {
     let cells = dqc_bench::harness::differential_grid(19);
@@ -51,28 +55,40 @@ fn main() {
             "--json" => json_path = it.next(),
             "--telemetry" => telemetry_dir = it.next(),
             "--check" => check = true,
+            "--list" => {
+                println!("experiments:");
+                for (id, what) in catalog() {
+                    println!("  {id:<4} {what}");
+                }
+                return;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--quick] [--check] [--json FILE] [--telemetry DIR] \
-                     [all | e1 .. e19]..."
+                    "usage: reproduce [--list] [--quick] [--check] [--json FILE] \
+                     [--telemetry DIR] [all | e1 .. e19]..."
                 );
                 return;
             }
-            other => wanted.push(other.to_string()),
+            other => wanted.push(other.to_ascii_lowercase()),
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = (1..=19).map(|i| format!("e{i}")).collect();
+        wanted = catalog().iter().map(|(id, _)| id.to_string()).collect();
+    }
+    let unknown: Vec<&String> =
+        wanted.iter().filter(|w| !catalog().iter().any(|(id, _)| id == w)).collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("unknown experiment: {id}");
+        }
+        eprintln!("run `reproduce --list` for the catalog");
+        std::process::exit(2);
     }
     let mut tables = Vec::new();
     for id in &wanted {
-        match run_one(id, scale) {
-            Some(t) => {
-                println!("{}", t.render());
-                tables.push(t);
-            }
-            None => eprintln!("unknown experiment: {id}"),
-        }
+        let t = run_one(id, scale).expect("catalog ids all resolve");
+        println!("{}", t.render());
+        tables.push(t);
     }
     if let Some(path) = json_path {
         let json = dqc_bench::table::tables_to_json(&tables);
@@ -81,13 +97,21 @@ fn main() {
     }
     if let Some(dir) = telemetry_dir {
         std::fs::create_dir_all(&dir).expect("create telemetry dir");
+        let mut uncollectable = false;
         for id in &wanted {
-            let Some(col) = dqc_bench::telemetry::collect(id, scale) else { continue };
+            let Some(col) = dqc_bench::telemetry::collect(id, scale) else {
+                eprintln!("no telemetry collector for experiment: {id}");
+                uncollectable = true;
+                continue;
+            };
             let trace = format!("{dir}/{id}.trace.jsonl");
             let metrics = format!("{dir}/{id}.metrics.json");
             std::fs::write(&trace, col.to_chrome_jsonl()).expect("write trace");
             std::fs::write(&metrics, col.metrics_json()).expect("write metrics");
             eprintln!("wrote {trace} + {metrics}");
+        }
+        if uncollectable {
+            std::process::exit(2);
         }
     }
     if check && !conformance_sweep() {

@@ -94,9 +94,8 @@ pub fn e1_distribute(scale: Scale) -> Table {
             let (_, pipe) =
                 distribute_register(&net, &tree.views, reg.clone(), Schedule::Pipelined)
                     .expect("distribute");
-            let (_, naive) =
-                distribute_register(&net, &tree.views, reg, Schedule::StoreAndForward)
-                    .expect("distribute");
+            let (_, naive) = distribute_register(&net, &tree.views, reg, Schedule::StoreAndForward)
+                .expect("distribute");
             let chunk = net.cap_bits() - 1;
             let theory = d as f64 + q as f64 / chunk as f64;
             fits.push((theory, pipe.rounds as f64));
@@ -862,6 +861,33 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     ]
 }
 
+/// The experiment suite: `(id, one-line description)` for every id
+/// [`run_one`] accepts, in numeric order. This is what `reproduce --list`
+/// prints.
+pub fn catalog() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("e1", "Lemma 7: register distribution with pipelining vs store-and-forward"),
+        ("e2", "Lemma 2: parallel Grover search query/batch accounting"),
+        ("e3", "Lemma 3: parallel minimum finding (Dürr–Høyer)"),
+        ("e4", "Lemma 5: parallel element distinctness (Johnson walk)"),
+        ("e5", "Lemma 6: parallel mean estimation"),
+        ("e6", "Meeting scheduling in CONGEST (Lemmas 10–11)"),
+        ("e7", "Element distinctness in CONGEST (Lemmas 12–15)"),
+        ("e8", "Distributed Deutsch–Jozsa (Theorems 17–18)"),
+        ("e9", "Diameter & radius (Lemmas 20–21)"),
+        ("e10", "Average eccentricity (Lemma 22)"),
+        ("e11", "Cycle detection (Lemmas 23, 25)"),
+        ("e12", "Girth (Corollary 26)"),
+        ("e13", "Non-oracle techniques (§6: Lemmas 27–29, Corollary 30)"),
+        ("e14", "Exact statevector mode: Lemma 7 + Theorem 17"),
+        ("e15", "Ablation: batch width p (the paper picks p = Θ(D))"),
+        ("e16", "Ablation: per-edge bandwidth cap c·⌈log n⌉"),
+        ("e17", "Success boosting: 2/3 → 1 − n^(−c)"),
+        ("e18", "Extensions: Bernstein–Vazirani, exact even cycles, counting"),
+        ("e19", "Fault tolerance: seeded drops vs the Reliable ack/retry wrapper"),
+    ]
+}
+
 /// Look up an experiment by id ("e1".."e19", case-insensitive).
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
@@ -916,21 +942,15 @@ pub fn e15_batch_width_ablation(scale: Scale) -> Table {
         let p = p.max(1);
         // Re-run the Lemma 10 driver with an explicit p.
         let provider = dqc_core::framework::StoredValues::new(
-            inst.availability
-                .iter()
-                .map(|row| row.iter().map(|&b| b as u64).collect())
-                .collect(),
+            inst.availability.iter().map(|row| row.iter().map(|&b| b as u64).collect()).collect(),
             congest::graph::bits_for(g.n() as u64),
             congest::aggregate::CommOp::Sum,
         );
         let mut oracle =
             dqc_core::framework::CongestOracle::setup(&net, provider, p, 7).expect("setup");
         let mut rng = StdRng::seed_from_u64(77);
-        let out = pquery::minimum::find_extremum(
-            &mut oracle,
-            pquery::minimum::Extremum::Max,
-            &mut rng,
-        );
+        let out =
+            pquery::minimum::find_extremum(&mut oracle, pquery::minimum::Extremum::Max, &mut rng);
         t.row(vec![
             p.to_string(),
             oracle.rounds().to_string(),
@@ -970,12 +990,7 @@ pub fn e16_bandwidth_ablation(scale: Scale) -> Table {
         let net = Network::new(&g).with_bandwidth(cap);
         let djr = quantum_dj(&net, &dj, 5).expect("dj").expect("promise");
         let mr = quantum_meeting_scheduling(&net, &meet, 5).expect("scheduling");
-        t.row(vec![
-            c.to_string(),
-            cap.to_string(),
-            djr.rounds.to_string(),
-            mr.rounds.to_string(),
-        ]);
+        t.row(vec![c.to_string(), cap.to_string(), djr.rounds.to_string(), mr.rounds.to_string()]);
     }
     t.note("shrinking c inflates the streaming-dominated phases by the ⌈q/cap⌉ factor");
     t
@@ -1001,9 +1016,7 @@ pub fn e17_boosting(scale: Scale) -> Table {
         Scale::Quick => 4,
         Scale::Full => 10,
     };
-    let single = dqc_core::eccentricity::quantum_diameter(&net, 0)
-        .expect("diameter")
-        .rounds;
+    let single = dqc_core::eccentricity::quantum_diameter(&net, 0).expect("diameter").rounds;
     for c in [0.5f64, 1.0, 2.0] {
         let mut hits = 0;
         let mut rounds = 0;
@@ -1109,15 +1122,19 @@ pub fn e18_extensions(scale: Scale) -> Table {
     let inst = MeetingInstance::random(g.n(), k, 0.5, 11);
     let want = inst.attendance().iter().filter(|&&a| a >= 8).count() as f64;
     let eps = k as f64 / 10.0;
-    let q = dqc_core::counting::quantum_count_quorum_slots(&net, &inst, 8, eps, 2)
-        .expect("counting");
+    let q =
+        dqc_core::counting::quantum_count_quorum_slots(&net, &inst, 8, eps, 2).expect("counting");
     let c = dqc_core::counting::classical_count_quorum_slots(&net, &inst, 8, 2).expect("counting");
     t.row(vec![
         "quorum-counting".into(),
         format!("k={k}, ε={eps}"),
         q.rounds.to_string(),
         c.rounds.to_string(),
-        format!("err={:.0} (≤ε={eps}: {})", (q.estimate - want).abs(), (q.estimate - want).abs() <= eps),
+        format!(
+            "err={:.0} (≤ε={eps}: {})",
+            (q.estimate - want).abs(),
+            (q.estimate - want).abs() <= eps
+        ),
     ]);
     t
 }
@@ -1132,17 +1149,26 @@ pub fn e18_extensions(scale: Scale) -> Table {
 /// rate and the ack/retry overhead stay bounded. The note records the
 /// conformance/differential sweep: every cell audited under both engines.
 pub fn e19_fault_tolerance(scale: Scale) -> Table {
+    use crate::harness::bfs_tree_is_valid;
     use congest::bfs::BfsTreeProtocol;
     use congest::conformance::FloodProtocol;
     use congest::faults::{FaultPlan, Reliable, RetryConfig};
     use congest::tree_comm::BroadcastRegisterProtocol;
-    use crate::harness::bfs_tree_is_valid;
 
     let mut t = Table::new(
         "E19",
         "Fault tolerance: seeded drops vs the Reliable ack/retry wrapper",
         "wrapped protocols stay correct at ≥10% loss; overhead = acks + retransmits",
-        &["protocol", "graph", "drop %", "clean rounds", "reliable rounds", "overhead ×", "dropped", "correct"],
+        &[
+            "protocol",
+            "graph",
+            "drop %",
+            "clean rounds",
+            "reliable rounds",
+            "overhead ×",
+            "dropped",
+            "correct",
+        ],
     );
     let rates: &[f64] = match scale {
         Scale::Quick => &[0.0, 0.1, 0.2],
@@ -1161,7 +1187,12 @@ pub fn e19_fault_tolerance(scale: Scale) -> Table {
         let flood_clean = clean_net.run(FloodProtocol::instances(g.n(), 0)).expect("flood");
         let bfs_clean = clean_net.run(BfsTreeProtocol::instances(g.n(), 0)).expect("bfs");
         let bcast_clean = clean_net
-            .run(BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined))
+            .run(BroadcastRegisterProtocol::instances(
+                &views,
+                reg.clone(),
+                chunk,
+                Schedule::Pipelined,
+            ))
             .expect("broadcast");
         for &rate in rates {
             let plan = FaultPlan::new(19).with_drop_rate(rate);
@@ -1185,8 +1216,11 @@ pub fn e19_fault_tolerance(scale: Scale) -> Table {
             let run = net
                 .run(Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), retry))
                 .expect("reliable bfs");
-            let outcome: Vec<_> =
-                run.nodes.iter().map(|r| (r.inner().dist(), r.inner().tree_view().parent)).collect();
+            let outcome: Vec<_> = run
+                .nodes
+                .iter()
+                .map(|r| (r.inner().dist(), r.inner().tree_view().parent))
+                .collect();
             let ok = bfs_tree_is_valid(g, 0, &outcome);
             t.row(vec![
                 "bfs".into(),
@@ -1201,7 +1235,12 @@ pub fn e19_fault_tolerance(scale: Scale) -> Table {
 
             let run = net
                 .run(Reliable::wrap_all(
-                    BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined),
+                    BroadcastRegisterProtocol::instances(
+                        &views,
+                        reg.clone(),
+                        chunk,
+                        Schedule::Pipelined,
+                    ),
                     retry,
                 ))
                 .expect("reliable broadcast");
@@ -1254,5 +1293,24 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_one("e99", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn catalog_covers_the_suite_in_order() {
+        let ids: Vec<String> = (1..=19).map(|i| format!("e{i}")).collect();
+        assert_eq!(catalog().iter().map(|(id, _)| *id).collect::<Vec<_>>(), ids);
+        for (id, what) in catalog() {
+            assert!(!what.is_empty(), "{id} has no description");
+            assert!(!what.contains('\n'), "{id} description is not one line");
+        }
+    }
+
+    #[test]
+    fn every_catalog_id_has_a_telemetry_collector() {
+        // `reproduce --telemetry` exits nonzero on an uncollectable id, so
+        // the collector match must keep covering the whole catalog.
+        for (id, _) in catalog() {
+            assert!(crate::telemetry::collect(id, Scale::Quick).is_some(), "{id} uncollectable");
+        }
     }
 }

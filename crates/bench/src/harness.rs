@@ -36,9 +36,8 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |p| p.get())
-        .min(inputs.len().max(1));
+    let threads =
+        std::thread::available_parallelism().map_or(1, |p| p.get()).min(inputs.len().max(1));
     if threads <= 1 {
         return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
@@ -134,7 +133,11 @@ where
 /// Whether `(dist, parent)` per node describes a valid spanning tree of
 /// `g` rooted at `root`: the root at distance 0, every other node adopted
 /// by a strictly closer neighbor.
-pub fn bfs_tree_is_valid(g: &Graph, root: NodeId, outcome: &[(Option<Dist>, Option<NodeId>)]) -> bool {
+pub fn bfs_tree_is_valid(
+    g: &Graph,
+    root: NodeId,
+    outcome: &[(Option<Dist>, Option<NodeId>)],
+) -> bool {
     if outcome.len() != g.n() || outcome[root] != (Some(0), None) {
         return false;
     }
@@ -144,8 +147,7 @@ pub fn bfs_tree_is_valid(g: &Graph, root: NodeId, outcome: &[(Option<Dist>, Opti
         }
         match (dist, parent) {
             (Some(d), Some(p)) => {
-                g.neighbors(v).contains(&p)
-                    && matches!(outcome[p].0, Some(pd) if pd < d)
+                g.neighbors(v).contains(&p) && matches!(outcome[p].0, Some(pd) if pd < d)
             }
             _ => false,
         }
@@ -176,32 +178,77 @@ pub fn differential_grid(seed: u64) -> Vec<DiffCell> {
         let faulted = Network::new(g).with_faults(plan);
         let views = congest::bfs::build_bfs_tree(&clean, 0).expect("connected").views;
 
-        cells.push(diff_cell("flood", gname, false, &clean, || {
-            FloodProtocol::instances(g.n(), 0)
-        }, |ns| ns.iter().all(|f| f.has_token)));
-        cells.push(diff_cell("flood", gname, true, &faulted, || {
-            Reliable::wrap_all(FloodProtocol::instances(g.n(), 0), RetryConfig::default())
-        }, |ns| ns.iter().all(|r| r.inner().has_token)));
+        cells.push(diff_cell(
+            "flood",
+            gname,
+            false,
+            &clean,
+            || FloodProtocol::instances(g.n(), 0),
+            |ns| ns.iter().all(|f| f.has_token),
+        ));
+        cells.push(diff_cell(
+            "flood",
+            gname,
+            true,
+            &faulted,
+            || Reliable::wrap_all(FloodProtocol::instances(g.n(), 0), RetryConfig::default()),
+            |ns| ns.iter().all(|r| r.inner().has_token),
+        ));
 
-        cells.push(diff_cell("bfs", gname, false, &clean, || {
-            BfsTreeProtocol::instances(g.n(), 0)
-        }, |ns| bfs_tree_is_valid(g, 0, &bfs_outcome(ns))));
-        cells.push(diff_cell("bfs", gname, true, &faulted, || {
-            Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), RetryConfig::default())
-        }, |ns| {
-            let inner: Vec<_> = ns.iter().map(|r| (r.inner().dist(), r.inner().tree_view().parent)).collect();
-            bfs_tree_is_valid(g, 0, &inner)
-        }));
+        cells.push(diff_cell(
+            "bfs",
+            gname,
+            false,
+            &clean,
+            || BfsTreeProtocol::instances(g.n(), 0),
+            |ns| bfs_tree_is_valid(g, 0, &bfs_outcome(ns)),
+        ));
+        cells.push(diff_cell(
+            "bfs",
+            gname,
+            true,
+            &faulted,
+            || Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), RetryConfig::default()),
+            |ns| {
+                let inner: Vec<_> =
+                    ns.iter().map(|r| (r.inner().dist(), r.inner().tree_view().parent)).collect();
+                bfs_tree_is_valid(g, 0, &inner)
+            },
+        ));
 
-        cells.push(diff_cell("broadcast", gname, false, &clean, || {
-            BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined)
-        }, |ns| ns.iter().all(|p| p.register() == &reg)));
-        cells.push(diff_cell("broadcast", gname, true, &faulted, || {
-            Reliable::wrap_all(
-                BroadcastRegisterProtocol::instances(&views, reg.clone(), chunk, Schedule::Pipelined),
-                RetryConfig::default(),
-            )
-        }, |ns| ns.iter().all(|r| r.inner().register() == &reg)));
+        cells.push(diff_cell(
+            "broadcast",
+            gname,
+            false,
+            &clean,
+            || {
+                BroadcastRegisterProtocol::instances(
+                    &views,
+                    reg.clone(),
+                    chunk,
+                    Schedule::Pipelined,
+                )
+            },
+            |ns| ns.iter().all(|p| p.register() == &reg),
+        ));
+        cells.push(diff_cell(
+            "broadcast",
+            gname,
+            true,
+            &faulted,
+            || {
+                Reliable::wrap_all(
+                    BroadcastRegisterProtocol::instances(
+                        &views,
+                        reg.clone(),
+                        chunk,
+                        Schedule::Pipelined,
+                    ),
+                    RetryConfig::default(),
+                )
+            },
+            |ns| ns.iter().all(|r| r.inner().register() == &reg),
+        ));
     }
     cells
 }
@@ -255,8 +302,16 @@ mod tests {
         let cells = differential_grid(5);
         assert_eq!(cells.len(), 4 * 3 * 2);
         for c in &cells {
-            assert_eq!(c.violations, 0, "{}/{} (faulted={}) had violations", c.protocol, c.graph, c.faulted);
-            assert_eq!(c.rounds_delta, 0, "{}/{} (faulted={}) engines diverged", c.protocol, c.graph, c.faulted);
+            assert_eq!(
+                c.violations, 0,
+                "{}/{} (faulted={}) had violations",
+                c.protocol, c.graph, c.faulted
+            );
+            assert_eq!(
+                c.rounds_delta, 0,
+                "{}/{} (faulted={}) engines diverged",
+                c.protocol, c.graph, c.faulted
+            );
             assert!(c.correct, "{}/{} (faulted={}) incorrect", c.protocol, c.graph, c.faulted);
             if !c.faulted {
                 assert_eq!(c.dropped, 0, "{}/{}: clean cells cannot drop", c.protocol, c.graph);
@@ -272,7 +327,8 @@ mod tests {
     #[test]
     fn bfs_validity_oracle_rejects_broken_trees() {
         let g = super::path(4);
-        let good = vec![(Some(0), None), (Some(1), Some(0)), (Some(2), Some(1)), (Some(3), Some(2))];
+        let good =
+            vec![(Some(0), None), (Some(1), Some(0)), (Some(2), Some(1)), (Some(3), Some(2))];
         assert!(bfs_tree_is_valid(&g, 0, &good));
         let mut bad = good.clone();
         bad[2] = (Some(2), Some(0)); // parent is not a neighbor

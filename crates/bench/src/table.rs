@@ -219,7 +219,8 @@ mod tests {
 
     #[test]
     fn slope_of_power_law() {
-        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i as f64).powf(1.5) * 3.0)).collect();
+        let pts: Vec<(f64, f64)> =
+            (1..20).map(|i| (i as f64, (i as f64).powf(1.5) * 3.0)).collect();
         assert!((loglog_slope(&pts) - 1.5).abs() < 1e-9);
     }
 }

@@ -9,13 +9,13 @@
 //!
 //! Three capture styles, matching how each experiment does its work:
 //!
-//! * **network-level** (E1, E16, E19): protocols run directly through
-//!   [`Network::run_telemetry`], so every round is sampled and per-edge
-//!   loads accumulate — E19 additionally exercises the
-//!   [`Reliable`](congest::faults::Reliable) retry counters under seeded
+//! * **network-level** (E1, E16, E19): protocols run directly with a
+//!   collector attached (`net.exec(..).telemetry(..)`), so every round is
+//!   sampled and per-edge loads accumulate — E19 additionally exercises the
+//!   [`Reliable`] retry counters under seeded
 //!   message loss;
 //! * **ledger-level** (E4–E13, E15, E17): the `dqc_core` drivers return a
-//!   [`RoundLedger`] whose phases are folded in via
+//!   [`RoundLedger`](congest::RoundLedger) whose phases are folded in via
 //!   [`Collector::absorb_ledger`], plus batch-width histograms from the
 //!   `pquery` ledger where the driver exposes them;
 //! * **counter-level** (E2, E3, E5, E14, E18): pure `pquery` emulations
@@ -98,22 +98,20 @@ pub fn collect(id: &str, scale: Scale) -> Option<Collector> {
             let net = Network::new(&g);
             let views = build_bfs_tree(&net, 0).expect("path is connected").views;
             let chunk = (net.cap_bits().saturating_sub(1)).clamp(1, 64);
-            for (name, schedule) in
-                [("distribute/pipelined", Schedule::Pipelined), ("distribute/naive", Schedule::StoreAndForward)]
-            {
+            for (name, schedule) in [
+                ("distribute/pipelined", Schedule::Pipelined),
+                ("distribute/naive", Schedule::StoreAndForward),
+            ] {
                 col.enter(name);
-                let run = net
-                    .run_telemetry(
-                        BroadcastRegisterProtocol::instances(
-                            &views,
-                            Register::from_value(q, 0x00DE_C0DE),
-                            chunk,
-                            schedule,
-                        ),
-                        &mut col,
-                    )
-                    .expect("distribution");
-                let _ = run;
+                net.exec(BroadcastRegisterProtocol::instances(
+                    &views,
+                    Register::from_value(q, 0x00DE_C0DE),
+                    chunk,
+                    schedule,
+                ))
+                .telemetry(&mut col)
+                .run()
+                .expect("distribution");
                 col.exit();
             }
         }
@@ -133,7 +131,8 @@ pub fn collect(id: &str, scale: Scale) -> Option<Collector> {
                     col.add("pquery.found", out.found.is_some() as u64);
                 }
                 "e3" => {
-                    let (all, _) = pquery::grover::search_all(&mut src, &|v| v % 101 == 0, &mut rng);
+                    let (all, _) =
+                        pquery::grover::search_all(&mut src, &|v| v % 101 == 0, &mut rng);
                     col.add("pquery.found", all.len() as u64);
                 }
                 _ => {
@@ -212,8 +211,9 @@ pub fn collect(id: &str, scale: Scale) -> Option<Collector> {
                 Scale::Quick => 0.1,
                 Scale::Full => 0.02,
             };
-            let res = amplitude_amplification(&net, PreparationSubroutine::new(16, p_good), 0.1, 13)
-                .expect("amplification");
+            let res =
+                amplitude_amplification(&net, PreparationSubroutine::new(16, p_good), 0.1, 13)
+                    .expect("amplification");
             col.add("amplify.success", res.success as u64);
             col.absorb_ledger("amplitude-amplification", &res.ledger);
         }
@@ -249,28 +249,31 @@ pub fn collect(id: &str, scale: Scale) -> Option<Collector> {
             let retry = RetryConfig::default();
 
             col.enter("reliable/flood");
-            net.run_telemetry(Reliable::wrap_all(FloodProtocol::instances(g.n(), 0), retry), &mut col)
+            net.exec(Reliable::wrap_all(FloodProtocol::instances(g.n(), 0), retry))
+                .telemetry(&mut col)
+                .run()
                 .expect("reliable flood");
             col.exit();
 
             col.enter("reliable/bfs");
-            net.run_telemetry(Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), retry), &mut col)
+            net.exec(Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), retry))
+                .telemetry(&mut col)
+                .run()
                 .expect("reliable bfs");
             col.exit();
 
             col.enter("reliable/broadcast");
-            net.run_telemetry(
-                Reliable::wrap_all(
-                    BroadcastRegisterProtocol::instances(
-                        &views,
-                        Register::from_value(48, 0x0BAD_CAFE_F00D),
-                        6,
-                        Schedule::Pipelined,
-                    ),
-                    retry,
+            net.exec(Reliable::wrap_all(
+                BroadcastRegisterProtocol::instances(
+                    &views,
+                    Register::from_value(48, 0x0BAD_CAFE_F00D),
+                    6,
+                    Schedule::Pipelined,
                 ),
-                &mut col,
-            )
+                retry,
+            ))
+            .telemetry(&mut col)
+            .run()
             .expect("reliable broadcast");
             col.exit();
         }

@@ -50,12 +50,7 @@ fn tight_bandwidth_degrades_rounds_not_answers() {
     let rt = quantum_meeting_scheduling(&tight, &inst, 5).unwrap();
     assert_eq!(inst.attendance()[rg.slot], rg.attendance);
     assert_eq!(inst.attendance()[rt.slot], rt.attendance);
-    assert!(
-        rt.rounds > rg.rounds,
-        "tight cap should cost more: {} vs {}",
-        rt.rounds,
-        rg.rounds
-    );
+    assert!(rt.rounds > rg.rounds, "tight cap should cost more: {} vs {}", rt.rounds, rg.rounds);
 }
 
 #[test]

@@ -84,10 +84,7 @@ fn emulated_grover_success_rate_matches_quantum_law() {
     let mut exact_hits = 0;
     for r in 0..runs {
         let target = (r * 37) % k;
-        let mut src = VecSource::new(
-            (0..k).map(|i| (i == target) as u64).collect(),
-            4,
-        );
+        let mut src = VecSource::new((0..k).map(|i| (i == target) as u64).collect(), 4);
         if pquery::grover::search_one(&mut src, &|v| v != 0, &mut rng).found == Some(target) {
             emu_hits += 1;
         }

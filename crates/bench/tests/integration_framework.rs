@@ -28,7 +28,8 @@ fn xor_instance(n: usize, k: usize, marked: &[usize], seed: u64) -> StoredValues
 #[test]
 fn grover_through_network_on_many_topologies() {
     let mut rng = StdRng::seed_from_u64(5);
-    let graphs = vec![path(12), star(9), grid(4, 4), balanced_tree(2, 3), random_connected(18, 0.15, 1)];
+    let graphs =
+        vec![path(12), star(9), grid(4, 4), balanced_tree(2, 3), random_connected(18, 0.15, 1)];
     let mut hits = 0;
     let mut total = 0;
     for g in &graphs {
@@ -66,9 +67,8 @@ fn minimum_through_network_matches_truth_mostly() {
     let mut rng = StdRng::seed_from_u64(8);
     let g = random_connected(20, 0.12, 4);
     let mut src_rng = StdRng::seed_from_u64(11);
-    let local: Vec<Vec<u64>> = (0..20)
-        .map(|_| (0..60).map(|_| src_rng.gen_range(0..100u64)).collect())
-        .collect();
+    let local: Vec<Vec<u64>> =
+        (0..20).map(|_| (0..60).map(|_| src_rng.gen_range(0..100u64)).collect()).collect();
     let provider = StoredValues::new(local, 16, CommOp::Sum);
     let truth = *provider.aggregates().iter().min().unwrap();
     let net = Network::new(&g);
@@ -93,7 +93,8 @@ fn measured_rounds_within_constant_of_theorem8_bound() {
     let n = 20;
     let k = 64;
     let q = 8;
-    let local: Vec<Vec<u64>> = (0..n).map(|v| (0..k).map(|j| ((v + j) % 4) as u64).collect()).collect();
+    let local: Vec<Vec<u64>> =
+        (0..n).map(|v| (0..k).map(|j| ((v + j) % 4) as u64).collect()).collect();
     let provider = StoredValues::new(local, q, CommOp::Max);
     let mut oracle = CongestOracle::setup(&net, provider, 8, 3).unwrap();
     let b = 5;
@@ -103,14 +104,8 @@ fn measured_rounds_within_constant_of_theorem8_bound() {
     }
     let measured = oracle.rounds() as f64;
     let theory = theorem8_rounds(19, b as f64, 8, q, k, n);
-    assert!(
-        measured <= 8.0 * theory,
-        "measured {measured} should be O(theory {theory})"
-    );
-    assert!(
-        measured >= theory / 8.0,
-        "measured {measured} suspiciously below theory {theory}"
-    );
+    assert!(measured <= 8.0 * theory, "measured {measured} should be O(theory {theory})");
+    assert!(measured >= theory / 8.0, "measured {measured} suspiciously below theory {theory}");
 }
 
 #[test]

@@ -75,11 +75,9 @@ fn no_cycles_invented_on_trees() {
 
 #[test]
 fn girth_pipeline_end_to_end() {
-    for (g, want) in [
-        (cycle_with_body(7, 40, 2), 7usize),
-        (many_cycles(4, 5, 3), 4),
-        (grid(6, 5), 4),
-    ] {
+    for (g, want) in
+        [(cycle_with_body(7, 40, 2), 7usize), (many_cycles(4, 5, 3), 4), (grid(6, 5), 4)]
+    {
         let net = Network::new(&g);
         let c = classical_girth(&net, 1).unwrap();
         assert_eq!(c.girth, Some(want));

@@ -22,7 +22,7 @@
 
 use crate::bfs::TreeView;
 use crate::graph::NodeId;
-use crate::runtime::{Ctx, MessageSize, Network, NodeProtocol, RuntimeError, RunStats};
+use crate::runtime::{Ctx, MessageSize, Network, NodeProtocol, RunStats, RuntimeError};
 use std::collections::VecDeque;
 
 /// A commutative-semigroup operation on `q ≤ 64`-bit values, the `⊕` of
@@ -312,8 +312,7 @@ impl NodeProtocol for AggregateBatchProtocol {
         }
         // Stream one Echo chunk per round toward each child.
         for pos in 0..self.tree.children.len() {
-            if let Some((nbits, payload)) = self.echo_out[pos].next_chunk(self.q, self.chunk_bits)
-            {
+            if let Some((nbits, payload)) = self.echo_out[pos].next_chunk(self.q, self.chunk_bits) {
                 ctx.send(self.tree.children[pos], AggMsg::Echo { nbits, payload });
             }
         }
@@ -352,10 +351,7 @@ pub fn aggregate_batch(
     op: CommOp,
 ) -> Result<BatchAggregate, RuntimeError> {
     let chunk = net.cap_bits().saturating_sub(2).clamp(1, 64);
-    let root = views
-        .iter()
-        .position(|v| v.parent.is_none())
-        .expect("tree has a root");
+    let root = views.iter().position(|v| v.parent.is_none()).expect("tree has a root");
     let run = net.run(AggregateBatchProtocol::instances(views, values, q, op, chunk))?;
     debug_assert!(run.nodes.iter().all(|n| !n.echo_mismatch()), "uncompute echo mismatch");
     Ok(BatchAggregate { values: run.nodes[root].aggregates().to_vec(), stats: run.stats })
@@ -397,9 +393,8 @@ mod tests {
         let full = if q == 64 { u64::MAX } else { (1u64 << q) - 1 };
         // Sum must stay inside the q-bit domain across all n nodes.
         let lim = if op == CommOp::Sum { (full / g.n() as u64).max(1) } else { full };
-        let values: Vec<Vec<u64>> = (0..g.n())
-            .map(|_| (0..p).map(|_| rng.gen_range(0..=lim)).collect())
-            .collect();
+        let values: Vec<Vec<u64>> =
+            (0..g.n()).map(|_| (0..p).map(|_| rng.gen_range(0..=lim)).collect()).collect();
         let agg = aggregate_batch(&net, &tree.views, &values, q, op).unwrap();
         for i in 0..p {
             let want = op.fold(values.iter().map(|v| v[i]));
@@ -453,11 +448,7 @@ mod tests {
         let d = 23usize;
         let p = 20usize;
         let rounds = check_aggregate(&g, p, 8, CommOp::Sum, 7);
-        assert!(
-            rounds < d * p,
-            "rounds {rounds} should be ~(D + p), far below D*p = {}",
-            d * p
-        );
+        assert!(rounds < d * p, "rounds {rounds} should be ~(D + p), far below D*p = {}", d * p);
         assert!(rounds >= d, "information must cross the path");
     }
 

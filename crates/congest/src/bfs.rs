@@ -13,7 +13,7 @@
 //!   `O(|S| + D)` rounds, completing Lemma 20.
 
 use crate::graph::{bits_for, Dist, Graph, NodeId};
-use crate::runtime::{Ctx, MessageSize, Network, NodeProtocol, Run, RuntimeError, RunStats};
+use crate::runtime::{Ctx, MessageSize, Network, NodeProtocol, Run, RunStats, RuntimeError};
 use std::collections::BTreeSet;
 
 /// A node's local view of a spanning tree: its parent (None at the root)
@@ -336,7 +336,8 @@ impl EccAggregateProtocol {
             .map(|(view, my_dist)| {
                 assert_eq!(my_dist.len(), s, "every node needs all source distances");
                 let nc = view.children.len();
-                let ready: BTreeSet<usize> = if nc == 0 { (0..s).collect() } else { BTreeSet::new() };
+                let ready: BTreeSet<usize> =
+                    if nc == 0 { (0..s).collect() } else { BTreeSet::new() };
                 EccAggregateProtocol {
                     tree: view.clone(),
                     my_dist: my_dist.clone(),
@@ -703,9 +704,6 @@ mod tests {
     fn bfs_tree_disconnected_errors() {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let net = Network::new(&g).with_round_limit(100);
-        assert!(matches!(
-            build_bfs_tree(&net, 0),
-            Err(RuntimeError::RoundLimitExceeded { .. })
-        ));
+        assert!(matches!(build_bfs_tree(&net, 0), Err(RuntimeError::RoundLimitExceeded { .. })));
     }
 }

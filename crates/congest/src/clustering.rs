@@ -120,9 +120,8 @@ pub fn cluster(g: &Graph, d: usize) -> Clustering {
                 t += 1;
             }
             let radius = ((t + 1) * step) as Dist;
-            let members: Vec<NodeId> = (0..n)
-                .filter(|&v| dist[v].is_some_and(|dd| dd <= radius))
-                .collect();
+            let members: Vec<NodeId> =
+                (0..n).filter(|&v| dist[v].is_some_and(|dd| dd <= radius)).collect();
             // Remove the ball and a (d+1)-buffer from this color's pool; the
             // buffer stays uncovered and is handled by later colors.
             let buffer_radius = radius + step as Dist;

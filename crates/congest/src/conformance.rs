@@ -16,7 +16,7 @@
 //!   final node states for the same protocol and seed.
 //!
 //! Where the plain engine *aborts* on the first contract breach, an audited
-//! run ([`Network::run_audited`](crate::runtime::Network::run_audited))
+//! run ([`Exec::audited`](crate::runtime::Exec::audited))
 //! records every breach as a [`Violation`] with round and edge provenance
 //! and keeps going, so a single run reports all of a protocol's violations.
 //! [`check_protocol`] wraps the whole procedure into one call.
@@ -71,10 +71,9 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::CapExceeded { round, from, to, bits, cap } => write!(
-                f,
-                "round {round}: edge {from}->{to} carried {bits} bits, cap is {cap}"
-            ),
+            Violation::CapExceeded { round, from, to, bits, cap } => {
+                write!(f, "round {round}: edge {from}->{to} carried {bits} bits, cap is {cap}")
+            }
             Violation::NonNeighborSend { round, from, to } => {
                 write!(f, "round {round}: node {from} sent to non-neighbor {to}")
             }
@@ -144,12 +143,8 @@ pub fn validate_trace(stats: &RunStats, trace: &Trace, cap: u64) -> Vec<Violatio
     check("message total", stats.messages, trace.rounds.iter().map(|r| r.messages).sum());
     check("bit total", stats.total_bits, trace.rounds.iter().map(|r| r.bits).sum());
     check("drop total", stats.dropped, trace.rounds.iter().map(|r| r.dropped).sum());
-    let peak = trace
-        .rounds
-        .iter()
-        .filter_map(|r| r.busiest_edge.map(|(_, _, b)| b))
-        .max()
-        .unwrap_or(0);
+    let peak =
+        trace.rounds.iter().filter_map(|r| r.busiest_edge.map(|(_, _, b)| b)).max().unwrap_or(0);
     if peak > stats.max_edge_bits {
         out.push(Violation::TraceInconsistent {
             field: "busiest recorded edge",
@@ -191,28 +186,28 @@ where
     F: Fn() -> Vec<P>,
 {
     let seq_net = net.clone().with_engine(EngineMode::Sequential);
-    let (seq_run, seq_trace, seq_audit) = seq_net.run_audited(make())?;
+    let seq = seq_net.exec(make()).traced().audited().run()?;
     let par_net = net.clone().with_engine(EngineMode::Parallel { threads: threads.max(2) });
-    let (par_run, par_trace, par_audit) = par_net.run_audited(make())?;
+    let par = par_net.exec(make()).traced().audited().run()?;
 
-    let mut violations = seq_audit.clone();
-    violations.extend(validate_trace(&seq_run.stats, &seq_trace, net.cap_bits()));
-    if par_run.stats != seq_run.stats {
+    let mut violations = seq.violations.clone();
+    violations.extend(validate_trace(&seq.stats, &seq.trace, net.cap_bits()));
+    if par.stats != seq.stats {
         violations.push(Violation::EngineDivergence { field: "stats" });
     }
-    if par_trace.rounds != seq_trace.rounds {
+    if par.trace.rounds != seq.trace.rounds {
         violations.push(Violation::EngineDivergence { field: "trace" });
     }
-    if format!("{:?}", par_run.nodes) != format!("{:?}", seq_run.nodes) {
+    if format!("{:?}", par.nodes) != format!("{:?}", seq.nodes) {
         violations.push(Violation::EngineDivergence { field: "node states" });
     }
-    if par_audit != seq_audit {
+    if par.violations != seq.violations {
         violations.push(Violation::EngineDivergence { field: "audit findings" });
     }
     Ok(Checked {
-        report: ConformanceReport { violations, stats: seq_run.stats },
-        run: seq_run,
-        trace: seq_trace,
+        report: ConformanceReport { violations, stats: seq.stats },
+        run: Run { nodes: seq.nodes, stats: seq.stats },
+        trace: seq.trace,
     })
 }
 
@@ -286,8 +281,8 @@ mod tests {
     fn validate_trace_flags_inconsistencies() {
         let g = path(5);
         let net = Network::new(&g);
-        let (run, mut trace, _) =
-            net.run_audited(FloodProtocol::instances(5, 0)).expect("run");
+        let out = net.exec(FloodProtocol::instances(5, 0)).traced().audited().run().expect("run");
+        let (run, mut trace) = (Run { nodes: out.nodes, stats: out.stats }, out.trace);
         assert!(validate_trace(&run.stats, &trace, net.cap_bits()).is_empty());
         // Tamper with the trace: each identity must catch its breach.
         let mut miscounted = trace.clone();

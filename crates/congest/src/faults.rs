@@ -269,9 +269,7 @@ impl<M: MessageSize> MessageSize for ReliableMsg<M> {
     fn size_bits(&self) -> u64 {
         // 1 tag bit plus the sequence number's width; Data adds its payload.
         match self {
-            ReliableMsg::Data { seq, payload } => {
-                1 + bits_for(*seq as u64) + payload.size_bits()
-            }
+            ReliableMsg::Data { seq, payload } => 1 + bits_for(*seq as u64) + payload.size_bits(),
             ReliableMsg::Ack { seq } => 1 + bits_for(*seq as u64),
         }
     }

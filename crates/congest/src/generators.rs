@@ -203,10 +203,8 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     }
     let mut e = Vec::with_capacity(n - 1);
     // Min-heap over current leaves.
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&v| degree[v] == 1)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&v| degree[v] == 1).map(std::cmp::Reverse).collect();
     for &p in &prufer {
         let std::cmp::Reverse(leaf) = heap.pop().expect("Prüfer invariant: a leaf exists");
         e.push((leaf, p));

@@ -61,4 +61,6 @@ pub mod telemetry;
 pub mod tree_comm;
 
 pub use graph::{Dist, Graph, NodeId};
-pub use runtime::{Network, NodeProtocol, RoundLedger, RunStats, RuntimeError};
+pub use runtime::{
+    Exec, Network, NodeProtocol, RoundLedger, RunObserver, RunOutput, RunStats, RuntimeError,
+};

@@ -87,10 +87,7 @@ pub struct Ctx<'a, M> {
 
 impl<M> fmt::Debug for Ctx<'_, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Ctx")
-            .field("me", &self.me)
-            .field("round", &self.round)
-            .finish()
+        f.debug_struct("Ctx").field("me", &self.me).field("round", &self.round).finish()
     }
 }
 
@@ -187,7 +184,7 @@ impl<'a, M: MessageSize> Ctx<'a, M> {
     }
 
     /// Whether this run records telemetry (i.e. it was started with
-    /// [`Network::run_telemetry`]). Protocols can use this to skip
+    /// [`Exec::telemetry`] attached). Protocols can use this to skip
     /// building labels for [`mark`](Self::mark) on untelemetered runs;
     /// [`count`](Self::count) and [`observe`](Self::observe) are cheap
     /// enough to call unconditionally.
@@ -248,10 +245,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NotANeighbor { round, from, to } => {
                 write!(f, "round {round}: node {from} sent to non-neighbor {to}")
             }
-            RuntimeError::BandwidthExceeded { round, from, to, bits, cap } => write!(
-                f,
-                "round {round}: edge {from}->{to} carried {bits} bits, cap is {cap}"
-            ),
+            RuntimeError::BandwidthExceeded { round, from, to, bits, cap } => {
+                write!(f, "round {round}: edge {from}->{to} carried {bits} bits, cap is {cap}")
+            }
             RuntimeError::RoundLimitExceeded { limit } => {
                 write!(f, "protocol did not terminate within {limit} rounds")
             }
@@ -323,7 +319,7 @@ pub struct RoundTrace {
     pub dropped: u64,
 }
 
-/// A per-round congestion trace produced by [`Network::run_traced`].
+/// A per-round congestion trace produced by [`Exec::traced`].
 ///
 /// # Examples
 ///
@@ -334,7 +330,7 @@ pub struct RoundTrace {
 ///
 /// let g = path(6);
 /// let net = Network::new(&g);
-/// let (_run, trace) = net.run_traced(BfsTreeProtocol::instances(6, 0))?;
+/// let trace = net.exec(BfsTreeProtocol::instances(6, 0)).traced().run()?.trace;
 /// assert!(!trace.rounds.is_empty());
 /// println!("{}", trace.render(20));
 /// # Ok::<(), congest::runtime::RuntimeError>(())
@@ -560,7 +556,9 @@ impl<'g> Network<'g> {
     /// Scheduling follows [`with_engine`](Self::with_engine); every mode
     /// yields bit-identical results. Protocols that cannot satisfy the
     /// `Send`/`Sync` bounds can always use
-    /// [`run_sequential`](Self::run_sequential).
+    /// [`run_sequential`](Self::run_sequential). To record traces,
+    /// violations, or telemetry alongside the run, use the
+    /// [`exec`](Self::exec) builder.
     ///
     /// # Errors
     ///
@@ -571,97 +569,57 @@ impl<'g> Network<'g> {
         P: NodeProtocol + Send,
         P::Msg: Send + Sync,
     {
-        match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, None, None, None),
-            threads => self.run_parallel_impl(nodes, None, None, None, threads),
-        }
+        self.run_with(nodes, ())
     }
 
-    /// Like [`run`](Self::run), but records structured telemetry into
-    /// `tel`: per-round samples, per-edge cumulative load, and any
-    /// marks/counters/histograms the protocol emits through
-    /// [`Ctx::mark`]/[`Ctx::count`]/[`Ctx::observe`]. The run is wrapped
-    /// in no span — callers typically bracket it with
-    /// [`Collector::enter`]/[`Collector::exit`]; the collector's cursor
-    /// advances by the run's measured rounds.
+    /// Start building an observed run.
     ///
-    /// Recording is deterministic: the same run produces byte-identical
-    /// collector exports under every [`EngineMode`] (see the
-    /// [`telemetry`](crate::telemetry) module docs for the contract).
+    /// `net.exec(nodes)` followed by any combination of
+    /// [`traced`](Exec::traced), [`audited`](Exec::audited), and
+    /// [`telemetry`](Exec::telemetry), finished with [`run`](Exec::run)
+    /// (or [`run_sequential`](Exec::run_sequential) for protocols whose
+    /// state is not `Send`), returns a typed [`RunOutput`] carrying
+    /// exactly the artifacts that were requested.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use congest::generators::path;
+    /// use congest::runtime::Network;
+    /// use congest::bfs::BfsTreeProtocol;
+    ///
+    /// let g = path(6);
+    /// let net = Network::new(&g);
+    /// let out = net.exec(BfsTreeProtocol::instances(6, 0)).traced().run()?;
+    /// assert_eq!(out.trace.rounds.len(), out.stats.rounds);
+    /// # Ok::<(), congest::runtime::RuntimeError>(())
+    /// ```
+    pub fn exec<P: NodeProtocol>(&self, nodes: Vec<P>) -> Exec<'_, 'g, P> {
+        Exec { net: self, nodes, trace: (), audit: (), tel: () }
+    }
+
+    /// [`run`](Self::run) with a caller-supplied [`RunObserver`] pipeline.
+    ///
+    /// This is the generic substrate under [`exec`](Self::exec): the three
+    /// built-in observers (`&mut Trace`, `&mut Vec<Violation>`,
+    /// `&mut Collector`) and any custom observer compose with nested
+    /// `(A, B)` tuples.
     ///
     /// # Errors
     ///
-    /// Same as [`run`](Self::run).
-    pub fn run_telemetry<P>(&self, nodes: Vec<P>, tel: &mut Collector) -> Result<Run<P>, RuntimeError>
+    /// Same as [`run`](Self::run), except that model breaches are reported
+    /// through [`RunObserver::on_violation`] instead of aborting when
+    /// `obs.audits()` is true.
+    pub fn run_with<P, O>(&self, nodes: Vec<P>, obs: O) -> Result<Run<P>, RuntimeError>
     where
         P: NodeProtocol + Send,
         P::Msg: Send + Sync,
+        O: RunObserver,
     {
         match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, None, None, Some(tel)),
-            threads => self.run_parallel_impl(nodes, None, None, Some(tel), threads),
+            1 => self.exec_loop(nodes, obs, 1, SeqDriver),
+            threads => self.exec_loop(nodes, obs, threads, ParDriver),
         }
-    }
-
-    /// Like [`run`](Self::run), but also records a per-round
-    /// [`Trace`] — message/bit counts and the busiest edge of every round —
-    /// for congestion analysis and debugging.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run`](Self::run).
-    pub fn run_traced<P>(&self, nodes: Vec<P>) -> Result<(Run<P>, Trace), RuntimeError>
-    where
-        P: NodeProtocol + Send,
-        P::Msg: Send + Sync,
-    {
-        let mut trace = Trace::default();
-        let run = match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, Some(&mut trace), None, None)?,
-            threads => self.run_parallel_impl(nodes, Some(&mut trace), None, None, threads)?,
-        };
-        trace.rounds.truncate(run.stats.rounds);
-        Ok((run, trace))
-    }
-
-    /// Like [`run_traced`](Self::run_traced), but in *audit mode*: model
-    /// breaches (bandwidth-cap overflow, non-neighbor sends) are recorded
-    /// as [`Violation`]s with round/edge provenance instead of aborting the
-    /// run, and every breach is reported rather than just the first.
-    ///
-    /// Audited cap overflows still deliver their message; audited
-    /// non-neighbor sends are discarded (there is no edge to carry them).
-    /// This is the substrate of [`conformance`](crate::conformance).
-    ///
-    /// # Errors
-    ///
-    /// Only hard failures error here: wrong node count, round-limit
-    /// exhaustion, and protocol-reported failures such as
-    /// [`RetryBudgetExhausted`](RuntimeError::RetryBudgetExhausted).
-    pub fn run_audited<P>(
-        &self,
-        nodes: Vec<P>,
-    ) -> Result<(Run<P>, Trace, Vec<Violation>), RuntimeError>
-    where
-        P: NodeProtocol + Send,
-        P::Msg: Send + Sync,
-    {
-        let mut trace = Trace::default();
-        let mut violations = Vec::new();
-        let run = match self.effective_threads(nodes.len()) {
-            1 => self.run_impl(nodes, Some(&mut trace), Some(&mut violations), None)?,
-            threads => {
-                self.run_parallel_impl(
-                    nodes,
-                    Some(&mut trace),
-                    Some(&mut violations),
-                    None,
-                    threads,
-                )?
-            }
-        };
-        trace.rounds.truncate(run.stats.rounds);
-        Ok((run, trace, violations))
     }
 
     /// [`run`](Self::run) on the single-threaded engine, regardless of the
@@ -673,69 +631,144 @@ impl<'g> Network<'g> {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_sequential<P: NodeProtocol>(&self, nodes: Vec<P>) -> Result<Run<P>, RuntimeError> {
-        self.run_impl(nodes, None, None, None)
+        self.run_sequential_with(nodes, ())
     }
 
-    /// [`run_telemetry`](Self::run_telemetry) on the single-threaded
-    /// engine — the only telemetry entry point for protocols whose state
-    /// is not `Send`.
+    /// [`run_with`](Self::run_with) on the single-threaded engine — the
+    /// observer entry point for protocols whose state is not `Send`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with`](Self::run_with).
+    pub fn run_sequential_with<P: NodeProtocol, O: RunObserver>(
+        &self,
+        nodes: Vec<P>,
+        obs: O,
+    ) -> Result<Run<P>, RuntimeError> {
+        self.exec_loop(nodes, obs, 1, SeqDriver)
+    }
+
+    /// Like [`run`](Self::run), but records structured telemetry into
+    /// `tel`. See [`Exec::telemetry`] for the semantics.
     ///
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
+    #[deprecated(note = "use `net.exec(nodes).telemetry(tel).run()`")]
+    pub fn run_telemetry<P>(
+        &self,
+        nodes: Vec<P>,
+        tel: &mut Collector,
+    ) -> Result<Run<P>, RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let out = self.exec(nodes).telemetry(tel).run()?;
+        Ok(Run { nodes: out.nodes, stats: out.stats })
+    }
+
+    /// Like [`run`](Self::run), but also records a per-round [`Trace`].
+    /// See [`Exec::traced`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    #[deprecated(note = "use `net.exec(nodes).traced().run()`")]
+    pub fn run_traced<P>(&self, nodes: Vec<P>) -> Result<(Run<P>, Trace), RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let out = self.exec(nodes).traced().run()?;
+        Ok((Run { nodes: out.nodes, stats: out.stats }, out.trace))
+    }
+
+    /// Traced run in *audit mode*: model breaches are recorded as
+    /// [`Violation`]s instead of aborting. See [`Exec::audited`].
+    ///
+    /// # Errors
+    ///
+    /// Only hard failures error here: wrong node count, round-limit
+    /// exhaustion, and protocol-reported failures such as
+    /// [`RetryBudgetExhausted`](RuntimeError::RetryBudgetExhausted).
+    #[deprecated(note = "use `net.exec(nodes).traced().audited().run()`")]
+    pub fn run_audited<P>(
+        &self,
+        nodes: Vec<P>,
+    ) -> Result<(Run<P>, Trace, Vec<Violation>), RuntimeError>
+    where
+        P: NodeProtocol + Send,
+        P::Msg: Send + Sync,
+    {
+        let out = self.exec(nodes).traced().audited().run()?;
+        Ok((Run { nodes: out.nodes, stats: out.stats }, out.trace, out.violations))
+    }
+
+    /// Telemetry on the single-threaded engine. See [`Exec::telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    #[deprecated(note = "use `net.exec(nodes).telemetry(tel).run_sequential()`")]
     pub fn run_sequential_telemetry<P: NodeProtocol>(
         &self,
         nodes: Vec<P>,
         tel: &mut Collector,
     ) -> Result<Run<P>, RuntimeError> {
-        self.run_impl(nodes, None, None, Some(tel))
+        let out = self.exec(nodes).telemetry(tel).run_sequential()?;
+        Ok(Run { nodes: out.nodes, stats: out.stats })
     }
 
-    /// [`run_traced`](Self::run_traced) on the single-threaded engine.
+    /// Traced run on the single-threaded engine. See [`Exec::traced`].
     ///
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
+    #[deprecated(note = "use `net.exec(nodes).traced().run_sequential()`")]
     pub fn run_sequential_traced<P: NodeProtocol>(
         &self,
         nodes: Vec<P>,
     ) -> Result<(Run<P>, Trace), RuntimeError> {
-        let mut trace = Trace::default();
-        let run = self.run_impl(nodes, Some(&mut trace), None, None)?;
-        trace.rounds.truncate(run.stats.rounds);
-        Ok((run, trace))
+        let out = self.exec(nodes).traced().run_sequential()?;
+        Ok((Run { nodes: out.nodes, stats: out.stats }, out.trace))
     }
 
-    /// Validate and deliver one sender's outbox, updating run statistics
-    /// and the round accumulator.
+    /// Validate one sender's outbox against the model, apply fault
+    /// verdicts, and hand each surviving message to `sink` — the single
+    /// validation/fault/delivery path shared by both engines.
     ///
     /// Per-edge load is accumulated in `router`'s rank-indexed slot array —
     /// one `O(log deg)` rank lookup per message, no per-sender allocation —
     /// and only the touched slots are flushed and reset, so routing cost is
     /// proportional to traffic rather than to the sender's degree.
+    ///
+    /// Returns `false` when the sender's chunk must stop: a non-audited
+    /// model breach was staged in `result.error`. In audit mode breaches
+    /// become [`Violation`]s in `result.violations` instead and the outbox
+    /// keeps draining (audited cap overflows still deliver; audited
+    /// non-neighbor sends are discarded — there is no edge to carry them).
     #[inline]
     #[allow(clippy::too_many_arguments)] // internal hot path; grouping into a struct buys nothing
-    fn route_sender<M: MessageSize>(
+    fn route_outbox<M: MessageSize, S: SendSink<M>>(
         &self,
         from: NodeId,
         round: usize,
         outbox: &mut Vec<(NodeId, M)>,
-        next_inboxes: &mut [Vec<(NodeId, M)>],
-        wheel: &mut DelayWheel<M>,
         router: &mut Router,
-        (stats, acc): (&mut RunStats, &mut RoundAccum),
-        mut audit: Option<&mut Vec<Violation>>,
+        result: &mut LaneResult,
         edges: Option<&mut Vec<(NodeId, NodeId, u64)>>,
-    ) -> Result<(), RuntimeError> {
+        sink: &mut S,
+        auditing: bool,
+    ) -> bool {
         for (idx, (to, msg)) in outbox.drain(..).enumerate() {
             let Some(rank) = self.graph.neighbor_rank(from, to) else {
-                match audit.as_deref_mut() {
-                    Some(v) => {
-                        v.push(Violation::NonNeighborSend { round, from, to });
-                        continue; // no edge exists to carry the message
-                    }
-                    None => return Err(RuntimeError::NotANeighbor { round, from, to }),
+                if auditing {
+                    result.violations.push(Violation::NonNeighborSend { round, from, to });
+                    continue; // no edge exists to carry the message
                 }
+                result.error = Some(RuntimeError::NotANeighbor { round, from, to });
+                return false;
             };
             let bits = msg.size_bits();
             if router.slots[rank] == 0 {
@@ -743,29 +776,29 @@ impl<'g> Network<'g> {
             }
             router.slots[rank] += bits;
             if router.slots[rank] > self.cap_bits {
-                match audit.as_deref_mut() {
-                    Some(v) => v.push(Violation::CapExceeded {
+                if auditing {
+                    result.violations.push(Violation::CapExceeded {
                         round,
                         from,
                         to,
                         bits: router.slots[rank],
                         cap: self.cap_bits,
-                    }),
-                    None => {
-                        return Err(RuntimeError::BandwidthExceeded {
-                            round,
-                            from,
-                            to,
-                            bits: router.slots[rank],
-                            cap: self.cap_bits,
-                        })
-                    }
+                    });
+                } else {
+                    result.error = Some(RuntimeError::BandwidthExceeded {
+                        round,
+                        from,
+                        to,
+                        bits: router.slots[rank],
+                        cap: self.cap_bits,
+                    });
+                    return false;
                 }
             }
             // Model validation passed (or was audited); now the fault plan
             // decides the message's fate. Dropped messages still loaded the
             // edge above — only delivery accounting skips them.
-            let mut delay = 0usize;
+            let mut delay = 0u32;
             if let Some(plan) = &self.faults {
                 // Outages and tail-drops beyond a degraded cap both lose
                 // the message; otherwise the seeded hash decides.
@@ -778,148 +811,36 @@ impl<'g> Network<'g> {
                 };
                 match verdict {
                     Delivery::Drop => {
-                        stats.dropped += 1;
-                        acc.dropped += 1;
+                        result.stats.dropped += 1;
                         continue;
                     }
-                    Delivery::Delay(d) => delay = d,
+                    Delivery::Delay(d) => delay = d as u32,
                     Delivery::Deliver => {}
                 }
             }
-            stats.messages += 1;
-            stats.total_bits += bits;
-            acc.messages += 1;
-            acc.bits += bits;
-            if delay == 0 {
-                next_inboxes[to].push((from, msg));
-            } else {
-                wheel.schedule(delay, to, from, msg);
-            }
+            result.stats.messages += 1;
+            result.stats.total_bits += bits;
+            sink.accept(to, from, delay, bits, msg);
         }
-        router.flush(from, self.graph.neighbors(from), stats, acc, edges);
-        Ok(())
-    }
-
-    fn run_impl<P: NodeProtocol>(
-        &self,
-        mut nodes: Vec<P>,
-        mut trace: Option<&mut Trace>,
-        mut audit: Option<&mut Vec<Violation>>,
-        mut tel: Option<&mut Collector>,
-    ) -> Result<Run<P>, RuntimeError> {
-        let n = self.graph.n();
-        if nodes.len() != n {
-            return Err(RuntimeError::WrongNodeCount { expected: n, got: nodes.len() });
-        }
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut stats = RunStats::default();
-        let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
-        let mut router = Router::new(self.graph.max_degree());
-        let mut wheel = DelayWheel::new();
-        let mut last_active_round = 0usize;
-        let mut shard = match tel.as_deref_mut() {
-            Some(col) => {
-                col.begin_engine_run();
-                Some(Shard::default())
-            }
-            None => None,
-        };
-
-        for round in 0..self.max_rounds {
-            let mut any_sent = false;
-            let mut acc = RoundAccum::default();
-            for v in 0..n {
-                outbox.clear();
-                {
-                    let mut ctx = Ctx {
-                        me: v,
-                        round,
-                        n,
-                        cap_bits: self.cap_bits,
-                        neighbors: self.graph.neighbors(v),
-                        out: &mut outbox,
-                        tel: shard.as_mut(),
-                    };
-                    nodes[v].on_round(&mut ctx, &inboxes[v]);
-                }
-                if outbox.is_empty() {
-                    continue;
-                }
-                any_sent = true;
-                self.route_sender(
-                    v,
-                    round,
-                    &mut outbox,
-                    &mut next_inboxes,
-                    &mut wheel,
-                    &mut router,
-                    (&mut stats, &mut acc),
-                    audit.as_deref_mut(),
-                    shard.as_mut().map(|s| &mut s.edges),
-                )?;
-            }
-            if let Some(e) = nodes.iter().find_map(|p| p.failure()) {
-                return Err(e);
-            }
-            if any_sent {
-                last_active_round = round + 1;
-            }
-            if let Some(t) = trace.as_deref_mut() {
-                t.rounds.push(RoundTrace {
-                    messages: acc.messages,
-                    bits: acc.bits,
-                    busiest_edge: acc.busiest,
-                    dropped: acc.dropped,
-                });
-            }
-            if let (Some(col), Some(sh)) = (tel.as_deref_mut(), shard.as_mut()) {
-                col.engine_round(
-                    RoundTrace {
-                        messages: acc.messages,
-                        bits: acc.bits,
-                        busiest_edge: acc.busiest,
-                        dropped: acc.dropped,
-                    },
-                    sh,
-                );
-            }
-            // Delayed messages that matured this round arrive with the next
-            // round's inboxes, after every regular send; like a regular
-            // send, a matured delivery keeps the run active.
-            if wheel.pop_due(&mut next_inboxes) {
-                last_active_round = round + 1;
-            }
-            let in_flight = next_inboxes.iter().any(|b| !b.is_empty()) || !wheel.is_empty();
-            if !in_flight && nodes.iter().all(|p| p.is_done()) {
-                stats.rounds = last_active_round;
-                if let Some(col) = tel {
-                    col.finish_engine_run(&stats);
-                }
-                return Ok(Run { nodes, stats });
-            }
-            for v in 0..n {
-                inboxes[v].clear();
-                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
-            }
-        }
-        Err(RuntimeError::RoundLimitExceeded { limit: self.max_rounds })
+        router.flush(from, self.graph.neighbors(from), &mut result.stats, &mut result.acc, edges);
+        true
     }
 
     /// Run one round's `on_round` calls for a contiguous chunk of nodes
-    /// starting at id `base`, staging validated sends and statistics in
-    /// `lane`. Stops at the chunk's first error, exactly where the
-    /// sequential engine would.
+    /// starting at id `base`, routing every sender's outbox through
+    /// [`route_outbox`](Self::route_outbox) into `sink`. Stops at the
+    /// chunk's first error, exactly where a fully sequential sweep would.
     #[allow(clippy::too_many_arguments)] // internal hot path; grouping into a struct buys nothing
-    fn round_for_chunk<P: NodeProtocol>(
+    fn round_for_chunk<P: NodeProtocol, S: SendSink<P::Msg>>(
         &self,
         round: usize,
         base: NodeId,
         chunk: &mut [P],
         inboxes: &[Vec<(NodeId, P::Msg)>],
-        lane: &mut Lane<P::Msg>,
-        audit: bool,
-        telemetry: bool,
+        lane: &mut LaneCore<P::Msg>,
+        sink: &mut S,
+        auditing: bool,
+        telemetering: bool,
     ) {
         let n = self.graph.n();
         lane.result = LaneResult::default();
@@ -934,7 +855,7 @@ impl<'g> Network<'g> {
                     cap_bits: self.cap_bits,
                     neighbors: self.graph.neighbors(v),
                     out: &mut lane.outbox,
-                    tel: if telemetry { Some(&mut lane.shard) } else { None },
+                    tel: if telemetering { Some(&mut lane.shard) } else { None },
                 };
                 node.on_round(&mut ctx, &inboxes[v]);
             }
@@ -942,233 +863,683 @@ impl<'g> Network<'g> {
                 continue;
             }
             lane.result.any_sent = true;
-            for (idx, (to, msg)) in lane.outbox.drain(..).enumerate() {
-                let Some(rank) = self.graph.neighbor_rank(v, to) else {
-                    if audit {
-                        lane.result.violations.push(Violation::NonNeighborSend {
-                            round,
-                            from: v,
-                            to,
-                        });
-                        continue;
-                    }
-                    lane.result.error = Some(RuntimeError::NotANeighbor { round, from: v, to });
-                    return;
-                };
-                let bits = msg.size_bits();
-                if lane.router.slots[rank] == 0 {
-                    lane.router.touched.push(rank);
-                }
-                lane.router.slots[rank] += bits;
-                if lane.router.slots[rank] > self.cap_bits {
-                    if audit {
-                        lane.result.violations.push(Violation::CapExceeded {
-                            round,
-                            from: v,
-                            to,
-                            bits: lane.router.slots[rank],
-                            cap: self.cap_bits,
-                        });
-                    } else {
-                        lane.result.error = Some(RuntimeError::BandwidthExceeded {
-                            round,
-                            from: v,
-                            to,
-                            bits: lane.router.slots[rank],
-                            cap: self.cap_bits,
-                        });
-                        return;
-                    }
-                }
-                let mut delay = 0u32;
-                if let Some(plan) = &self.faults {
-                    let verdict = if plan.link_is_down(round, v, to)
-                        || plan
-                            .degraded_cap(v, to)
-                            .is_some_and(|c| lane.router.slots[rank] > c)
-                    {
-                        Delivery::Drop
-                    } else {
-                        plan.decide(round, v, to, idx)
-                    };
-                    match verdict {
-                        Delivery::Drop => {
-                            lane.result.stats.dropped += 1;
-                            lane.result.acc.dropped += 1;
-                            continue;
-                        }
-                        Delivery::Delay(d) => delay = d as u32,
-                        Delivery::Deliver => {}
-                    }
-                }
-                lane.result.stats.messages += 1;
-                lane.result.stats.total_bits += bits;
-                lane.sends.push((to, v, delay, msg));
-            }
-            lane.router.flush(
+            if !self.route_outbox(
                 v,
-                self.graph.neighbors(v),
-                &mut lane.result.stats,
-                &mut lane.result.acc,
-                if telemetry { Some(&mut lane.shard.edges) } else { None },
-            );
+                round,
+                &mut lane.outbox,
+                &mut lane.router,
+                &mut lane.result,
+                if telemetering { Some(&mut lane.shard.edges) } else { None },
+                sink,
+                auditing,
+            ) {
+                return;
+            }
         }
     }
 
-    /// The multi-threaded engine: each round fans the node loop out over
-    /// `threads` scoped workers, one contiguous [`NodeId`] chunk per
-    /// worker, then merges the staged per-lane results in chunk order.
+    /// The round loop — the only one in the crate; both engines execute
+    /// this exact body. `driver` chooses how each round's `on_round` calls
+    /// are scheduled (inline on one lane, or fanned out over scoped worker
+    /// threads staging into per-lane buffers), [`ExecCore`] holds the
+    /// engine-agnostic run state, and `obs` receives the [`RunObserver`]
+    /// hooks at fixed points of the loop.
     ///
-    /// Merging in chunk (= node id) order reproduces the sequential
-    /// engine's inbox ordering, statistics, busiest-edge choice, and first
+    /// Merging lanes in chunk (= node id) order reproduces a sequential
+    /// sweep's inbox ordering, statistics, busiest-edge choice, and first
     /// error exactly; see `DESIGN.md`, "Engine internals".
-    fn run_parallel_impl<P>(
+    fn exec_loop<P, O, D>(
         &self,
         mut nodes: Vec<P>,
-        mut trace: Option<&mut Trace>,
-        mut audit: Option<&mut Vec<Violation>>,
-        mut tel: Option<&mut Collector>,
+        mut obs: O,
         threads: usize,
+        driver: D,
     ) -> Result<Run<P>, RuntimeError>
     where
-        P: NodeProtocol + Send,
-        P::Msg: Send + Sync,
+        P: NodeProtocol,
+        O: RunObserver,
+        D: RoundDriver<P>,
     {
         let n = self.graph.n();
         if nodes.len() != n {
             return Err(RuntimeError::WrongNodeCount { expected: n, got: nodes.len() });
         }
-        let chunk_len = n.div_ceil(threads);
-        let max_degree = self.graph.max_degree();
-        let auditing = audit.is_some();
-        let telemetering = tel.is_some();
-        let mut lanes: Vec<Lane<P::Msg>> = (0..threads)
-            .map(|_| Lane {
-                outbox: Vec::new(),
-                router: Router::new(max_degree),
-                sends: Vec::new(),
-                result: LaneResult::default(),
-                shard: Shard::default(),
-            })
-            .collect();
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut stats = RunStats::default();
-        let mut wheel = DelayWheel::new();
-        let mut last_active_round = 0usize;
-        // Per-lane telemetry shards are merged into this buffer in chunk
-        // (= node id) order each round, reproducing the sequential
-        // engine's emission order exactly.
-        let mut round_shard = Shard::default();
-        if let Some(col) = tel.as_deref_mut() {
-            col.begin_engine_run();
-        }
-
+        let mut core = ExecCore::new(n, self.graph.max_degree(), threads, &obs);
         for round in 0..self.max_rounds {
-            {
-                let inboxes = &inboxes;
-                std::thread::scope(|s| {
-                    for (t, (chunk, lane)) in
-                        nodes.chunks_mut(chunk_len).zip(lanes.iter_mut()).enumerate()
-                    {
-                        s.spawn(move || {
-                            self.round_for_chunk(
-                                round,
-                                t * chunk_len,
-                                chunk,
-                                inboxes,
-                                lane,
-                                auditing,
-                                telemetering,
-                            );
-                        });
-                    }
-                });
-            }
+            obs.on_round_start(round);
+            driver.drive(self, round, &mut nodes, &mut core, &mut obs);
             // The first error in lane order is the first error in node
             // order: chunks are contiguous and each lane stops at its own
             // first error.
-            if let Some(e) = lanes.iter_mut().find_map(|l| l.result.error.take()) {
+            if let Some(e) = core.first_error() {
                 return Err(e);
             }
-            let mut any_sent = false;
-            let mut acc = RoundAccum::default();
-            for lane in &mut lanes {
-                let r = &lane.result;
-                stats.messages += r.stats.messages;
-                stats.total_bits += r.stats.total_bits;
-                stats.max_edge_bits = stats.max_edge_bits.max(r.stats.max_edge_bits);
-                stats.dropped += r.stats.dropped;
-                any_sent |= r.any_sent;
-                // The lane's stats are exactly this round's deltas (the
-                // lane result is reset at the top of each round).
-                acc.messages += r.stats.messages;
-                acc.bits += r.stats.total_bits;
-                acc.dropped += r.stats.dropped;
-                if let Some((f, t, b)) = r.acc.busiest {
-                    if acc.busiest.is_none_or(|(_, _, bb)| b > bb) {
-                        acc.busiest = Some((f, t, b));
-                    }
-                }
-                if let Some(sink) = audit.as_deref_mut() {
-                    sink.append(&mut lane.result.violations);
-                }
-                if telemetering {
-                    round_shard.marks.append(&mut lane.shard.marks);
-                    round_shard.counts.append(&mut lane.shard.counts);
-                    round_shard.observations.append(&mut lane.shard.observations);
-                    round_shard.edges.append(&mut lane.shard.edges);
-                }
-                for (to, from, delay, msg) in lane.sends.drain(..) {
-                    if delay == 0 {
-                        next_inboxes[to].push((from, msg));
-                    } else {
-                        wheel.schedule(delay as usize, to, from, msg);
-                    }
-                }
-            }
+            let (any_sent, round_trace) = core.merge_round(round, &mut obs);
             if let Some(e) = nodes.iter().find_map(|p| p.failure()) {
                 return Err(e);
             }
             if any_sent {
-                last_active_round = round + 1;
+                core.last_active_round = round + 1;
             }
-            if let Some(t) = trace.as_deref_mut() {
-                t.rounds.push(RoundTrace {
-                    messages: acc.messages,
-                    bits: acc.bits,
-                    busiest_edge: acc.busiest,
-                    dropped: acc.dropped,
-                });
+            obs.on_round_end(round, round_trace, &mut core.round_shard);
+            // Delayed messages that matured this round arrive with the next
+            // round's inboxes, after every regular send; like a regular
+            // send, a matured delivery keeps the run active.
+            if core.wheel.pop_due(&mut core.next_inboxes) {
+                core.last_active_round = round + 1;
             }
-            if let Some(col) = tel.as_deref_mut() {
-                col.engine_round(
-                    RoundTrace {
-                        messages: acc.messages,
-                        bits: acc.bits,
-                        busiest_edge: acc.busiest,
-                        dropped: acc.dropped,
-                    },
-                    &mut round_shard,
-                );
+            if core.quiescent() && nodes.iter().all(|p| p.is_done()) {
+                core.stats.rounds = core.last_active_round;
+                obs.on_finish(&core.stats);
+                return Ok(Run { nodes, stats: core.stats });
             }
-            if wheel.pop_due(&mut next_inboxes) {
-                last_active_round = round + 1;
-            }
-            let in_flight = next_inboxes.iter().any(|b| !b.is_empty()) || !wheel.is_empty();
-            if !in_flight && nodes.iter().all(|p| p.is_done()) {
-                stats.rounds = last_active_round;
-                if let Some(col) = tel {
-                    col.finish_engine_run(&stats);
-                }
-                return Ok(Run { nodes, stats });
-            }
-            for v in 0..n {
-                inboxes[v].clear();
-                std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
-            }
+            core.advance();
         }
         Err(RuntimeError::RoundLimitExceeded { limit: self.max_rounds })
+    }
+}
+
+/// Hooks into the execution core, composable into a pipeline.
+///
+/// One observer pipeline is attached per run (via the [`Exec`] builder or
+/// [`Network::run_with`]); the engine invokes the hooks at fixed points of
+/// its single round loop, identically under every [`EngineMode`]:
+///
+/// * [`on_round_start`](Self::on_round_start) — before any `on_round` call
+///   of the round;
+/// * [`on_message`](Self::on_message) — once per message accepted for
+///   delivery (immediate or delayed, not dropped), in sender order; only
+///   invoked when [`observes_messages`](Self::observes_messages) is true;
+/// * [`on_violation`](Self::on_violation) — once per model breach, in
+///   sender order; only in audit mode ([`audits`](Self::audits));
+/// * [`on_round_end`](Self::on_round_end) — after the round's messages
+///   are routed, with the round's aggregate [`RoundTrace`] and the merged
+///   telemetry staging [`Shard`];
+/// * [`on_finish`](Self::on_finish) — once, with the final [`RunStats`],
+///   when the run completes successfully (never on an error path).
+///
+/// Within a round, each hook's own call sequence is engine-invariant
+/// (global node order); the interleaving *between* `on_message` and
+/// `on_violation` calls of the same round is unspecified.
+///
+/// Every hook has a no-op default, `()` is the empty pipeline, and two
+/// pipelines compose as an `(A, B)` tuple — so a disabled concern costs
+/// one statically known untaken branch and `net.run(..)` monomorphizes to
+/// the bare engine. The three built-in observers are `&mut Trace`,
+/// `&mut Vec<Violation>` (audit), and `&mut Collector` (telemetry).
+pub trait RunObserver {
+    /// Whether model breaches should be recorded through
+    /// [`on_violation`](Self::on_violation) instead of aborting the run.
+    fn audits(&self) -> bool {
+        false
+    }
+
+    /// Whether the run stages protocol telemetry: per-lane [`Shard`]s are
+    /// allocated and [`Ctx::mark`]/[`Ctx::count`]/[`Ctx::observe`] record.
+    fn collects_telemetry(&self) -> bool {
+        false
+    }
+
+    /// Whether [`on_message`](Self::on_message) should be invoked. The
+    /// per-message hook is gated so the common observers (trace, audit,
+    /// telemetry) pay nothing for it.
+    fn observes_messages(&self) -> bool {
+        false
+    }
+
+    /// Called at the top of every round, before any `on_round` call.
+    fn on_round_start(&mut self, round: usize) {
+        let _ = round;
+    }
+
+    /// Called once per message accepted for delivery — immediately or
+    /// after an injected delay, but not for dropped messages — at the
+    /// round it was sent. Gated by
+    /// [`observes_messages`](Self::observes_messages).
+    fn on_message(&mut self, round: usize, from: NodeId, to: NodeId, bits: u64) {
+        let _ = (round, from, to, bits);
+    }
+
+    /// Called once per audited model breach, in sender order. Only invoked
+    /// when [`audits`](Self::audits) is true; otherwise the first breach
+    /// aborts the run with a [`RuntimeError`].
+    fn on_violation(&mut self, violation: &Violation) {
+        let _ = violation;
+    }
+
+    /// Called at the end of every round with its aggregate trace and the
+    /// round's merged telemetry staging buffer (empty unless
+    /// [`collects_telemetry`](Self::collects_telemetry) is true).
+    fn on_round_end(&mut self, round: usize, trace: RoundTrace, shard: &mut Shard) {
+        let _ = (round, trace, shard);
+    }
+
+    /// Called once, after the final round, when the run completes
+    /// successfully.
+    fn on_finish(&mut self, stats: &RunStats) {
+        let _ = stats;
+    }
+}
+
+/// The empty pipeline: a bare run with no observation.
+impl RunObserver for () {}
+
+/// Composition: both observers receive every hook; the capability queries
+/// are OR-ed.
+impl<A: RunObserver, B: RunObserver> RunObserver for (A, B) {
+    fn audits(&self) -> bool {
+        self.0.audits() || self.1.audits()
+    }
+
+    fn collects_telemetry(&self) -> bool {
+        self.0.collects_telemetry() || self.1.collects_telemetry()
+    }
+
+    fn observes_messages(&self) -> bool {
+        self.0.observes_messages() || self.1.observes_messages()
+    }
+
+    fn on_round_start(&mut self, round: usize) {
+        self.0.on_round_start(round);
+        self.1.on_round_start(round);
+    }
+
+    fn on_message(&mut self, round: usize, from: NodeId, to: NodeId, bits: u64) {
+        self.0.on_message(round, from, to, bits);
+        self.1.on_message(round, from, to, bits);
+    }
+
+    fn on_violation(&mut self, violation: &Violation) {
+        self.0.on_violation(violation);
+        self.1.on_violation(violation);
+    }
+
+    fn on_round_end(&mut self, round: usize, trace: RoundTrace, shard: &mut Shard) {
+        self.0.on_round_end(round, trace, shard);
+        self.1.on_round_end(round, trace, shard);
+    }
+
+    fn on_finish(&mut self, stats: &RunStats) {
+        self.0.on_finish(stats);
+        self.1.on_finish(stats);
+    }
+}
+
+/// The tracing observer: records one [`RoundTrace`] per executed round and
+/// truncates trailing quiet rounds to the measured round count on finish
+/// (the single place that fixup happens).
+impl RunObserver for &mut Trace {
+    fn on_round_end(&mut self, _round: usize, trace: RoundTrace, _shard: &mut Shard) {
+        self.rounds.push(trace);
+    }
+
+    fn on_finish(&mut self, stats: &RunStats) {
+        self.rounds.truncate(stats.rounds);
+    }
+}
+
+/// The audit observer: switches the engine into audit mode and collects
+/// every [`Violation`] in deterministic (round, then sender) order.
+impl RunObserver for &mut Vec<Violation> {
+    fn audits(&self) -> bool {
+        true
+    }
+
+    fn on_violation(&mut self, violation: &Violation) {
+        self.push(violation.clone());
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for () {}
+    impl Sealed for super::Trace {}
+    impl Sealed for Vec<super::Violation> {}
+    impl Sealed for &mut crate::telemetry::Collector {}
+}
+
+/// A slot of the [`Exec`] builder: either `()` (absent) or an owned
+/// artifact (a [`Trace`], a `Vec<Violation>`, a borrowed
+/// [`Collector`]) that lends itself out as the matching built-in
+/// [`RunObserver`] for the duration of the run. Sealed; the slot types are
+/// fixed by the builder methods.
+pub trait ObserverSlot: sealed::Sealed {
+    /// The observer this slot lends while the run executes.
+    type Obs<'a>: RunObserver
+    where
+        Self: 'a;
+
+    /// Borrow the slot as a live observer.
+    fn observer(&mut self) -> Self::Obs<'_>;
+}
+
+impl ObserverSlot for () {
+    type Obs<'a> = ();
+    fn observer(&mut self) -> Self::Obs<'_> {}
+}
+
+impl ObserverSlot for Trace {
+    type Obs<'a> = &'a mut Trace;
+    fn observer(&mut self) -> Self::Obs<'_> {
+        self
+    }
+}
+
+impl ObserverSlot for Vec<Violation> {
+    type Obs<'a> = &'a mut Vec<Violation>;
+    fn observer(&mut self) -> Self::Obs<'_> {
+        self
+    }
+}
+
+impl ObserverSlot for &mut Collector {
+    type Obs<'a>
+        = &'a mut Collector
+    where
+        Self: 'a;
+    fn observer(&mut self) -> Self::Obs<'_> {
+        self
+    }
+}
+
+/// A configured-but-not-yet-started run, created by [`Network::exec`].
+///
+/// The type parameters track which artifacts were requested: each of
+/// [`traced`](Self::traced), [`audited`](Self::audited), and
+/// [`telemetry`](Self::telemetry) fills its slot (callable once, enforced
+/// at compile time), and [`run`](Self::run) /
+/// [`run_sequential`](Self::run_sequential) return a [`RunOutput`] typed
+/// by the filled slots.
+pub struct Exec<'n, 'g, P, T = (), A = (), C = ()> {
+    net: &'n Network<'g>,
+    nodes: Vec<P>,
+    trace: T,
+    audit: A,
+    tel: C,
+}
+
+impl<P, T, A, C> fmt::Debug for Exec<'_, '_, P, T, A, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Exec").field("nodes", &self.nodes.len()).finish_non_exhaustive()
+    }
+}
+
+impl<'n, 'g, P, A, C> Exec<'n, 'g, P, (), A, C> {
+    /// Record a per-round [`Trace`] — message/bit counts and the busiest
+    /// edge of every round — for congestion analysis and debugging. The
+    /// trace is returned as [`RunOutput::trace`].
+    pub fn traced(self) -> Exec<'n, 'g, P, Trace, A, C> {
+        Exec {
+            net: self.net,
+            nodes: self.nodes,
+            trace: Trace::default(),
+            audit: self.audit,
+            tel: self.tel,
+        }
+    }
+}
+
+impl<'n, 'g, P, T, C> Exec<'n, 'g, P, T, (), C> {
+    /// Run in *audit mode*: model breaches (bandwidth-cap overflow,
+    /// non-neighbor sends) are recorded as [`Violation`]s with round/edge
+    /// provenance instead of aborting the run, and every breach is
+    /// reported rather than just the first.
+    ///
+    /// Audited cap overflows still deliver their message; audited
+    /// non-neighbor sends are discarded (there is no edge to carry them).
+    /// The findings are returned as [`RunOutput::violations`], in
+    /// deterministic (round, then sender) order under every engine. This
+    /// is the substrate of [`conformance`](crate::conformance).
+    pub fn audited(self) -> Exec<'n, 'g, P, T, Vec<Violation>, C> {
+        Exec {
+            net: self.net,
+            nodes: self.nodes,
+            trace: self.trace,
+            audit: Vec::new(),
+            tel: self.tel,
+        }
+    }
+}
+
+impl<'n, 'g, P, T, A> Exec<'n, 'g, P, T, A, ()> {
+    /// Record structured telemetry into `tel`: per-round samples, per-edge
+    /// cumulative load, and any marks/counters/histograms the protocol
+    /// emits through [`Ctx::mark`]/[`Ctx::count`]/[`Ctx::observe`]. The
+    /// run is wrapped in no span — callers typically bracket it with
+    /// [`Collector::enter`]/[`Collector::exit`]; the collector's cursor
+    /// advances by the run's measured rounds.
+    ///
+    /// Recording is deterministic: the same run produces byte-identical
+    /// collector exports under every [`EngineMode`] (see the
+    /// [`telemetry`](crate::telemetry) module docs for the contract).
+    pub fn telemetry<'c>(self, tel: &'c mut Collector) -> Exec<'n, 'g, P, T, A, &'c mut Collector> {
+        Exec { net: self.net, nodes: self.nodes, trace: self.trace, audit: self.audit, tel }
+    }
+}
+
+impl<P, T, A, C> Exec<'_, '_, P, T, A, C>
+where
+    P: NodeProtocol,
+    T: ObserverSlot,
+    A: ObserverSlot,
+    C: ObserverSlot,
+{
+    /// Execute the run under the configured [`EngineMode`] (like
+    /// [`Network::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::run`], except that when [`audited`](Self::audited)
+    /// was requested, model breaches become [`RunOutput::violations`]
+    /// instead of errors.
+    pub fn run(self) -> Result<RunOutput<P, T, A>, RuntimeError>
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+    {
+        let Exec { net, nodes, mut trace, mut audit, mut tel } = self;
+        let run = net.run_with(nodes, ((trace.observer(), audit.observer()), tel.observer()))?;
+        Ok(RunOutput { nodes: run.nodes, stats: run.stats, trace, violations: audit })
+    }
+
+    /// Execute the run on the single-threaded engine, regardless of the
+    /// configured [`EngineMode`] — the only builder entry point for
+    /// protocols whose state is not `Send`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_sequential(self) -> Result<RunOutput<P, T, A>, RuntimeError> {
+        let Exec { net, nodes, mut trace, mut audit, mut tel } = self;
+        let run =
+            net.run_sequential_with(nodes, ((trace.observer(), audit.observer()), tel.observer()))?;
+        Ok(RunOutput { nodes: run.nodes, stats: run.stats, trace, violations: audit })
+    }
+}
+
+/// The typed result of a built run (see [`Network::exec`]).
+///
+/// `trace` and `violations` are typed by the builder calls that requested
+/// them: `()` when not requested, a [`Trace`] after [`Exec::traced`], a
+/// `Vec<Violation>` after [`Exec::audited`]. Telemetry is written into the
+/// borrowed [`Collector`] and does not appear here.
+#[derive(Debug)]
+pub struct RunOutput<P, T = (), A = ()> {
+    /// Final per-node protocol states, indexed by [`NodeId`].
+    pub nodes: Vec<P>,
+    /// Measured statistics.
+    pub stats: RunStats,
+    /// Per-round congestion trace ([`Exec::traced`]), else `()`.
+    pub trace: T,
+    /// Audit findings in deterministic order ([`Exec::audited`]), else `()`.
+    pub violations: A,
+}
+
+/// Engine-agnostic state of one run: the inbox double-buffer, the delay
+/// wheel, run statistics, and the per-lane staging buffers. Both engines
+/// execute the single loop in `Network::exec_loop` over this core; a
+/// [`RoundDriver`] only chooses how the `on_round` calls land on the
+/// lanes.
+struct ExecCore<M> {
+    /// Nodes per lane (`n.div_ceil(lanes)`); lane `t` owns ids
+    /// `[t·chunk_len, (t+1)·chunk_len)`.
+    chunk_len: usize,
+    inboxes: Vec<Vec<(NodeId, M)>>,
+    next_inboxes: Vec<Vec<(NodeId, M)>>,
+    wheel: DelayWheel<M>,
+    lanes: Vec<Lane<M>>,
+    stats: RunStats,
+    last_active_round: usize,
+    /// Per-lane telemetry shards are merged into this buffer in chunk
+    /// (= node id) order each round, reproducing a sequential sweep's
+    /// emission order exactly; [`RunObserver::on_round_end`] drains it.
+    round_shard: Shard,
+    auditing: bool,
+    telemetering: bool,
+    want_messages: bool,
+}
+
+impl<M: MessageSize> ExecCore<M> {
+    fn new<O: RunObserver>(n: usize, max_degree: usize, lanes: usize, obs: &O) -> Self {
+        ExecCore {
+            chunk_len: n.div_ceil(lanes.max(1)),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            next_inboxes: (0..n).map(|_| Vec::new()).collect(),
+            wheel: DelayWheel::new(),
+            lanes: (0..lanes).map(|_| Lane::new(max_degree)).collect(),
+            stats: RunStats::default(),
+            last_active_round: 0,
+            round_shard: Shard::default(),
+            auditing: obs.audits(),
+            telemetering: obs.collects_telemetry(),
+            want_messages: obs.observes_messages(),
+        }
+    }
+
+    /// The first staged routing error in lane (= node) order, if any.
+    fn first_error(&mut self) -> Option<RuntimeError> {
+        self.lanes.iter_mut().find_map(|l| l.core.result.error.take())
+    }
+
+    /// Fold every lane's round results into the run: statistics, audit
+    /// findings (through [`RunObserver::on_violation`]), telemetry shards,
+    /// and staged sends (delivered to the next round's inboxes or the
+    /// delay wheel), all in chunk (= node id) order. Returns whether any
+    /// node sent this round plus the round's aggregate trace.
+    fn merge_round<O: RunObserver>(&mut self, round: usize, obs: &mut O) -> (bool, RoundTrace) {
+        let ExecCore {
+            lanes,
+            next_inboxes,
+            wheel,
+            stats,
+            round_shard,
+            telemetering,
+            want_messages,
+            ..
+        } = self;
+        let (telemetering, want_messages) = (*telemetering, *want_messages);
+        let mut any_sent = false;
+        let mut acc = RoundAccum::default();
+        for lane in lanes.iter_mut() {
+            let r = &lane.core.result;
+            stats.messages += r.stats.messages;
+            stats.total_bits += r.stats.total_bits;
+            stats.max_edge_bits = stats.max_edge_bits.max(r.stats.max_edge_bits);
+            stats.dropped += r.stats.dropped;
+            any_sent |= r.any_sent;
+            // The lane's stats are exactly this round's deltas (the lane
+            // result is reset at the top of each round).
+            acc.messages += r.stats.messages;
+            acc.bits += r.stats.total_bits;
+            acc.dropped += r.stats.dropped;
+            if let Some((f, t, b)) = r.acc.busiest {
+                if acc.busiest.is_none_or(|(_, _, bb)| b > bb) {
+                    acc.busiest = Some((f, t, b));
+                }
+            }
+            for v in lane.core.result.violations.drain(..) {
+                obs.on_violation(&v);
+            }
+            if telemetering {
+                round_shard.marks.append(&mut lane.core.shard.marks);
+                round_shard.counts.append(&mut lane.core.shard.counts);
+                round_shard.observations.append(&mut lane.core.shard.observations);
+                round_shard.edges.append(&mut lane.core.shard.edges);
+            }
+            for (to, from, delay, msg) in lane.sends.drain(..) {
+                if want_messages {
+                    obs.on_message(round, from, to, msg.size_bits());
+                }
+                if delay == 0 {
+                    next_inboxes[to].push((from, msg));
+                } else {
+                    wheel.schedule(delay as usize, to, from, msg);
+                }
+            }
+        }
+        (
+            any_sent,
+            RoundTrace {
+                messages: acc.messages,
+                bits: acc.bits,
+                busiest_edge: acc.busiest,
+                dropped: acc.dropped,
+            },
+        )
+    }
+
+    /// Whether no message is waiting for the next round (inboxes and the
+    /// delay wheel are empty).
+    fn quiescent(&self) -> bool {
+        !self.next_inboxes.iter().any(|b| !b.is_empty()) && self.wheel.is_empty()
+    }
+
+    /// Swap the inbox double-buffer for the next round.
+    fn advance(&mut self) {
+        for (inbox, next) in self.inboxes.iter_mut().zip(self.next_inboxes.iter_mut()) {
+            inbox.clear();
+            std::mem::swap(inbox, next);
+        }
+    }
+}
+
+/// How one round's `on_round` calls are scheduled onto the lanes. The loop
+/// body, validation path, and merge logic are shared ([`ExecCore`]); a
+/// driver only chooses inline execution or a scoped-thread fan-out.
+trait RoundDriver<P: NodeProtocol> {
+    fn drive<O: RunObserver>(
+        &self,
+        net: &Network<'_>,
+        round: usize,
+        nodes: &mut [P],
+        core: &mut ExecCore<P::Msg>,
+        obs: &mut O,
+    );
+}
+
+/// Single-lane driver: runs the whole node range inline and delivers each
+/// validated send straight into the next round's inboxes (or the delay
+/// wheel) — no staging, no `Send` bounds.
+struct SeqDriver;
+
+impl<P: NodeProtocol> RoundDriver<P> for SeqDriver {
+    fn drive<O: RunObserver>(
+        &self,
+        net: &Network<'_>,
+        round: usize,
+        nodes: &mut [P],
+        core: &mut ExecCore<P::Msg>,
+        obs: &mut O,
+    ) {
+        let ExecCore {
+            inboxes,
+            next_inboxes,
+            wheel,
+            lanes,
+            auditing,
+            telemetering,
+            want_messages,
+            ..
+        } = core;
+        let mut sink =
+            DeliverSink { next_inboxes, wheel, obs, want_messages: *want_messages, round };
+        net.round_for_chunk(
+            round,
+            0,
+            nodes,
+            inboxes,
+            &mut lanes[0].core,
+            &mut sink,
+            *auditing,
+            *telemetering,
+        );
+    }
+}
+
+/// Scoped-thread driver: one contiguous [`NodeId`] chunk per lane, sends
+/// staged per lane and merged in chunk order by the coordinator.
+struct ParDriver;
+
+impl<P> RoundDriver<P> for ParDriver
+where
+    P: NodeProtocol + Send,
+    P::Msg: Send + Sync,
+{
+    fn drive<O: RunObserver>(
+        &self,
+        net: &Network<'_>,
+        round: usize,
+        nodes: &mut [P],
+        core: &mut ExecCore<P::Msg>,
+        _obs: &mut O,
+    ) {
+        let ExecCore { inboxes, lanes, chunk_len, auditing, telemetering, .. } = core;
+        let (chunk_len, auditing, telemetering) = (*chunk_len, *auditing, *telemetering);
+        let inboxes: &[Vec<(NodeId, P::Msg)>] = inboxes;
+        std::thread::scope(|s| {
+            for (t, (chunk, lane)) in nodes.chunks_mut(chunk_len).zip(lanes.iter_mut()).enumerate()
+            {
+                s.spawn(move || {
+                    let Lane { core: lane_core, sends } = lane;
+                    net.round_for_chunk(
+                        round,
+                        t * chunk_len,
+                        chunk,
+                        inboxes,
+                        lane_core,
+                        &mut StageSink { sends },
+                        auditing,
+                        telemetering,
+                    );
+                });
+            }
+        });
+    }
+}
+
+/// Where `Network::route_outbox` puts a message that survived validation
+/// and the fault verdict.
+trait SendSink<M> {
+    /// Accept a message for delivery `delay` extra rounds from now
+    /// (`delay == 0` is normal next-round delivery).
+    fn accept(&mut self, to: NodeId, from: NodeId, delay: u32, bits: u64, msg: M);
+}
+
+/// Stages sends in a lane buffer for the coordinator to merge — the
+/// parallel driver's sink (workers may not touch the shared inboxes).
+struct StageSink<'a, M> {
+    sends: &'a mut Vec<(NodeId, NodeId, u32, M)>,
+}
+
+impl<M> SendSink<M> for StageSink<'_, M> {
+    #[inline]
+    fn accept(&mut self, to: NodeId, from: NodeId, delay: u32, _bits: u64, msg: M) {
+        self.sends.push((to, from, delay, msg));
+    }
+}
+
+/// Delivers straight into the next round's inboxes or the delay wheel —
+/// the sequential driver's sink (the coordinator is the only thread, so
+/// staging would be a wasted copy).
+struct DeliverSink<'a, M, O> {
+    next_inboxes: &'a mut Vec<Vec<(NodeId, M)>>,
+    wheel: &'a mut DelayWheel<M>,
+    obs: &'a mut O,
+    want_messages: bool,
+    round: usize,
+}
+
+impl<M, O: RunObserver> SendSink<M> for DeliverSink<'_, M, O> {
+    #[inline]
+    fn accept(&mut self, to: NodeId, from: NodeId, delay: u32, bits: u64, msg: M) {
+        if self.want_messages {
+            self.obs.on_message(self.round, from, to, bits);
+        }
+        if delay == 0 {
+            self.next_inboxes[to].push((from, msg));
+        } else {
+            self.wheel.schedule(delay as usize, to, from, msg);
+        }
     }
 }
 
@@ -1229,7 +1600,7 @@ struct RoundAccum {
     dropped: u64,
 }
 
-/// One worker's round output in the parallel engine.
+/// One lane's round output, reset at the top of every round.
 #[derive(Debug, Default)]
 struct LaneResult {
     stats: RunStats,
@@ -1237,23 +1608,45 @@ struct LaneResult {
     any_sent: bool,
     error: Option<RuntimeError>,
     /// Audit-mode findings, in this lane's node order; the coordinator
-    /// concatenates lanes in chunk order, reproducing sequential order.
+    /// replays lanes in chunk order, reproducing sequential order.
     violations: Vec<Violation>,
 }
 
-/// One worker's persistent buffers: reused round after round so the steady
-/// state allocates nothing.
-struct Lane<M> {
+/// One lane's persistent working state — everything `round_for_chunk`
+/// touches — reused round after round so the steady state allocates
+/// nothing. The sequential engine runs one of these inline; the parallel
+/// engine hands one to each worker thread.
+struct LaneCore<M> {
     outbox: Vec<(NodeId, M)>,
     router: Router,
-    /// Validated `(to, from, delay, msg)` tuples in sender order, merged
-    /// into the next round's inboxes (or the delay wheel) by the
-    /// coordinating thread. `delay == 0` means normal next-round delivery.
-    sends: Vec<(NodeId, NodeId, u32, M)>,
     result: LaneResult,
     /// Telemetry staged by this lane's chunk, drained by the coordinator
     /// in chunk order each round (empty on untelemetered runs).
     shard: Shard,
+}
+
+/// A [`LaneCore`] plus the parallel engine's staging buffer.
+struct Lane<M> {
+    core: LaneCore<M>,
+    /// Validated `(to, from, delay, msg)` tuples in sender order, staged by
+    /// [`StageSink`] and merged into the next round's inboxes (or the
+    /// delay wheel) by the coordinating thread; always empty on the
+    /// sequential engine, whose [`DeliverSink`] bypasses staging.
+    sends: Vec<(NodeId, NodeId, u32, M)>,
+}
+
+impl<M> Lane<M> {
+    fn new(max_degree: usize) -> Self {
+        Lane {
+            core: LaneCore {
+                outbox: Vec::new(),
+                router: Router::new(max_degree),
+                result: LaneResult::default(),
+                shard: Shard::default(),
+            },
+            sends: Vec::new(),
+        }
+    }
 }
 
 /// Future deliveries scheduled by a delaying fault plan.
@@ -1343,11 +1736,7 @@ impl RoundLedger {
 
     /// Total rounds spent in phases whose name starts with `prefix`.
     pub fn rounds_for(&self, prefix: &str) -> usize {
-        self.phases
-            .iter()
-            .filter(|(n, _)| n.starts_with(prefix))
-            .map(|(_, s)| s.rounds)
-            .sum()
+        self.phases.iter().filter(|(n, _)| n.starts_with(prefix)).map(|(_, s)| s.rounds).sum()
     }
 
     /// Sum of all message counts.
@@ -1471,9 +1860,7 @@ mod tests {
     #[test]
     fn bandwidth_cap_enforced() {
         let g = path(2);
-        let err = Network::new(&g)
-            .run(vec![Hog { sent: false }, Hog { sent: false }])
-            .unwrap_err();
+        let err = Network::new(&g).run(vec![Hog { sent: false }, Hog { sent: false }]).unwrap_err();
         assert!(matches!(err, RuntimeError::BandwidthExceeded { .. }));
     }
 
@@ -1524,9 +1911,7 @@ mod tests {
             }
         }
         let g = path(3);
-        let err = Network::new(&g)
-            .run((0..3).map(|_| Bad { sent: false }).collect())
-            .unwrap_err();
+        let err = Network::new(&g).run((0..3).map(|_| Bad { sent: false }).collect()).unwrap_err();
         assert!(matches!(err, RuntimeError::NotANeighbor { from: 0, to: 2, .. }));
     }
 
@@ -1545,10 +1930,7 @@ mod tests {
             }
         }
         let g = path(2);
-        let err = Network::new(&g)
-            .with_round_limit(10)
-            .run(vec![Forever, Forever])
-            .unwrap_err();
+        let err = Network::new(&g).with_round_limit(10).run(vec![Forever, Forever]).unwrap_err();
         assert_eq!(err, RuntimeError::RoundLimitExceeded { limit: 10 });
     }
 
@@ -1580,7 +1962,8 @@ mod tests {
         let g = path(6);
         let net = Network::new(&g);
         let plain = net.run(flood_nodes(6)).unwrap();
-        let (traced, trace) = net.run_traced(flood_nodes(6)).unwrap();
+        let traced = net.exec(flood_nodes(6)).traced().run().unwrap();
+        let trace = traced.trace;
         assert_eq!(plain.stats, traced.stats);
         assert_eq!(trace.rounds.len(), traced.stats.rounds);
         assert_eq!(trace.total_bits(), traced.stats.total_bits);
@@ -1593,7 +1976,7 @@ mod tests {
     fn trace_busiest_edge_within_cap() {
         let g = star(8);
         let net = Network::new(&g);
-        let (_, trace) = net.run_traced(flood_nodes(8)).unwrap();
+        let trace = net.exec(flood_nodes(8)).traced().run().unwrap().trace;
         for r in &trace.rounds {
             if let Some((_, _, bits)) = r.busiest_edge {
                 assert!(bits <= net.cap_bits());

@@ -35,11 +35,11 @@
 //!
 //! # Overhead when disabled
 //!
-//! Telemetry is off unless a run goes through
-//! [`Network::run_telemetry`](crate::runtime::Network::run_telemetry):
-//! the plain `run`/`run_traced` paths pass a `None` sink, so the only cost
-//! is one untaken branch per routed sender and a null field in each
-//! per-round context — nothing is allocated and no string is formatted.
+//! Telemetry is off unless a run attaches a collector via
+//! [`Exec::telemetry`](crate::runtime::Exec::telemetry): without one the
+//! engine passes a `None` sink, so the only cost is one untaken branch per
+//! routed sender and a null field in each per-round context — nothing is
+//! allocated and no string is formatted.
 //!
 //! # Export formats
 //!
@@ -54,7 +54,7 @@
 //!   congestion heatmap.
 
 use crate::graph::NodeId;
-use crate::runtime::{RoundLedger, RoundTrace, RunStats};
+use crate::runtime::{RoundLedger, RoundTrace, RunObserver, RunStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -187,6 +187,30 @@ pub trait Recorder {
         self.add("engine.bits", stats.total_bits);
         self.add("engine.dropped", stats.dropped);
         self.exit();
+    }
+}
+
+/// The telemetry observer: enables shard staging in the engine and folds
+/// each round's accounting + shard contents into the collector, advancing
+/// its cursor by the run's measured rounds on finish. Attached by
+/// [`Exec::telemetry`](crate::runtime::Exec::telemetry).
+impl RunObserver for &mut Collector {
+    fn collects_telemetry(&self) -> bool {
+        true
+    }
+
+    fn on_round_start(&mut self, round: usize) {
+        if round == 0 {
+            self.begin_engine_run();
+        }
+    }
+
+    fn on_round_end(&mut self, _round: usize, trace: RoundTrace, shard: &mut Shard) {
+        self.engine_round(trace, shard);
+    }
+
+    fn on_finish(&mut self, stats: &RunStats) {
+        self.finish_engine_run(stats);
     }
 }
 
@@ -462,11 +486,8 @@ impl Collector {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"rounds\": {},", self.cursor);
         out.push_str("  \"counters\": {");
-        let items: Vec<String> = self
-            .counters
-            .iter()
-            .map(|(k, v)| format!("{}: {}", json_escape(k), v))
-            .collect();
+        let items: Vec<String> =
+            self.counters.iter().map(|(k, v)| format!("{}: {}", json_escape(k), v)).collect();
         out.push_str(&items.join(", "));
         out.push_str("},\n");
         out.push_str("  \"histograms\": {");
@@ -505,19 +526,13 @@ impl Collector {
         out.push_str(&items.join(", "));
         out.push_str("],\n");
         out.push_str("  \"edges\": [");
-        let items: Vec<String> = self
-            .edges
-            .iter()
-            .map(|(&(f, t), &bits)| format!("[{f}, {t}, {bits}]"))
-            .collect();
+        let items: Vec<String> =
+            self.edges.iter().map(|(&(f, t), &bits)| format!("[{f}, {t}, {bits}]")).collect();
         out.push_str(&items.join(", "));
         out.push_str("],\n");
         out.push_str("  \"wall_annotations\": [");
-        let items: Vec<String> = self
-            .wall
-            .iter()
-            .map(|(k, us)| format!("[{}, {}]", json_escape(k), us))
-            .collect();
+        let items: Vec<String> =
+            self.wall.iter().map(|(k, us)| format!("[{}, {}]", json_escape(k), us)).collect();
         out.push_str(&items.join(", "));
         out.push_str("]\n}\n");
         out
@@ -564,7 +579,11 @@ impl Collector {
             }
         }
         if !self.edges.is_empty() {
-            let _ = writeln!(out, "edge load heatmap (top {width} of {} edges, bits):", self.edges.len());
+            let _ = writeln!(
+                out,
+                "edge load heatmap (top {width} of {} edges, bits):",
+                self.edges.len()
+            );
             let mut loads: Vec<(NodeId, NodeId, u64)> =
                 self.edges.iter().map(|(&(f, t), &b)| (f, t, b)).collect();
             // Hottest first; ties broken by (from, to) so the report is
@@ -575,7 +594,8 @@ impl Collector {
             for &(f, t, bits) in loads.iter().take(width) {
                 let bar = ((bits * width as u64) / peak) as usize;
                 let shade = RAMP[(bits * (RAMP.len() as u64 - 1) / peak) as usize] as char;
-                let _ = writeln!(out, "  {f:>5} -> {t:<5} {shade} {:<width$} {bits}", "#".repeat(bar));
+                let _ =
+                    writeln!(out, "  {f:>5} -> {t:<5} {shade} {:<width$} {bits}", "#".repeat(bar));
             }
         }
         out

@@ -18,7 +18,7 @@
 
 use crate::bfs::TreeView;
 use crate::graph::NodeId;
-use crate::runtime::{Ctx, MessageSize, Network, NodeProtocol, RuntimeError, RunStats};
+use crate::runtime::{Ctx, MessageSize, Network, NodeProtocol, RunStats, RuntimeError};
 use std::collections::VecDeque;
 
 /// A register of `bits ≤ 64·words.len()` (qu)bits, stored little-endian in
@@ -160,9 +160,7 @@ impl Register {
     /// Panics if `bits` is not a multiple of `field_bits`.
     pub fn unpack(&self, field_bits: u64) -> Vec<u64> {
         assert_eq!(self.bits % field_bits, 0, "register not a whole number of fields");
-        (0..self.bits / field_bits)
-            .map(|i| self.get_bits(i * field_bits, field_bits))
-            .collect()
+        (0..self.bits / field_bits).map(|i| self.get_bits(i * field_bits, field_bits)).collect()
     }
 }
 
@@ -402,10 +400,7 @@ pub fn gather_register(
     regs: Vec<Register>,
 ) -> Result<(Register, RunStats), RuntimeError> {
     let chunk = (net.cap_bits().saturating_sub(1)).clamp(1, 64);
-    let root = views
-        .iter()
-        .position(|v| v.parent.is_none())
-        .expect("tree has a root");
+    let root = views.iter().position(|v| v.parent.is_none()).expect("tree has a root");
     let run = net.run(GatherRegisterProtocol::instances(views, regs, chunk))?;
     debug_assert!(run.nodes.iter().all(|p| !p.mismatch()), "uncompute mismatch");
     Ok((run.nodes[root].register().clone(), run.stats))

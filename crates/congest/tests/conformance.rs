@@ -5,7 +5,7 @@
 use congest::conformance::{check_protocol, FloodProtocol, Violation};
 use congest::faults::{FaultPlan, Reliable, RetryConfig};
 use congest::generators::{grid, path, star};
-use congest::runtime::{Ctx, MessageSize, Network, NodeProtocol};
+use congest::runtime::{Ctx, EngineMode, MessageSize, Network, NodeProtocol};
 
 #[derive(Clone, Debug)]
 struct Payload(u64);
@@ -72,10 +72,13 @@ fn cap_violation_caught_with_round_and_edge_provenance() {
     assert!(!checked.report.is_clean());
     // Star center is node 0; its first neighbor is node 1.
     assert!(
-        checked
-            .report
-            .violations
-            .contains(&Violation::CapExceeded { round: 1, from: 0, to: 1, bits: cap + 2, cap }),
+        checked.report.violations.contains(&Violation::CapExceeded {
+            round: 1,
+            from: 0,
+            to: 1,
+            bits: cap + 2,
+            cap
+        }),
         "missing the expected provenance: {}",
         checked.report.render()
     );
@@ -92,15 +95,15 @@ fn cross_non_edge_send_caught_with_provenance() {
     let n = 7;
     let g = path(n);
     let net = Network::new(&g);
-    let checked = check_protocol(&net, 2, || {
-        (0..n).map(|_| CrossSender { n, done: false }).collect()
-    })
-    .expect("run");
+    let checked =
+        check_protocol(&net, 2, || (0..n).map(|_| CrossSender { n, done: false }).collect())
+            .expect("run");
     assert!(
-        checked
-            .report
-            .violations
-            .contains(&Violation::NonNeighborSend { round: 2, from: 0, to: n - 1 }),
+        checked.report.violations.contains(&Violation::NonNeighborSend {
+            round: 2,
+            from: 0,
+            to: n - 1
+        }),
         "missing the expected provenance: {}",
         checked.report.render()
     );
@@ -130,13 +133,13 @@ fn audited_run_reports_every_breach_not_just_the_first() {
     }
     let g = star(8);
     let net = Network::new(&g);
-    let (_, _, violations) = net
-        .run_audited((0..8).map(|_| MultiHog { done: false }).collect::<Vec<_>>())
-        .expect("audited run");
-    let caps = violations
-        .iter()
-        .filter(|v| matches!(v, Violation::CapExceeded { .. }))
-        .count();
+    let violations = net
+        .exec((0..8).map(|_| MultiHog { done: false }).collect::<Vec<_>>())
+        .audited()
+        .run()
+        .expect("audited run")
+        .violations;
+    let caps = violations.iter().filter(|v| matches!(v, Violation::CapExceeded { .. })).count();
     assert_eq!(caps, 3, "expected one violation per hog: {violations:?}");
     // Plain mode errors instead.
     let err = net
@@ -159,4 +162,83 @@ fn honest_protocols_are_clean_even_under_faults() {
     assert!(checked.report.is_clean(), "{}", checked.report.render());
     assert!(checked.report.stats.dropped > 0);
     assert!(checked.run.nodes.iter().all(|r| r.inner().has_token));
+}
+
+#[test]
+fn audit_findings_are_element_wise_identical_across_engines() {
+    // A protocol that breaches the model both ways on a schedule spread
+    // over many nodes and rounds: every third node over-sends to its first
+    // neighbor, every fourth sends to a deliberate non-neighbor. Audited
+    // runs must yield the *same* `Vec<Violation>` — same length, same
+    // order, same round/edge provenance — whether the lanes are one or
+    // many, fault-free or faulted.
+    #[derive(Debug)]
+    struct Misbehaver {
+        n: usize,
+        done: bool,
+    }
+    impl NodeProtocol for Misbehaver {
+        type Msg = Payload;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Payload>, _inbox: &[(usize, Payload)]) {
+            let me = ctx.me();
+            if ctx.round() == me % 3 {
+                if me % 3 == 0 {
+                    ctx.send(ctx.neighbors()[0], Payload(ctx.cap_bits() + 1));
+                }
+                if me % 4 == 0 {
+                    // The first node that is neither `me` nor adjacent.
+                    if let Some(w) = (0..self.n).find(|w| *w != me && !ctx.neighbors().contains(w))
+                    {
+                        ctx.send(w, Payload(1));
+                    }
+                }
+            }
+            if ctx.round() >= 2 {
+                self.done = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+    let g = grid(6, 5);
+    let make = || (0..g.n()).map(|_| Misbehaver { n: g.n(), done: false }).collect::<Vec<_>>();
+    for plan in [None, Some(FaultPlan::new(23).with_drop_rate(0.25).with_delay(0.15, 2))] {
+        let base = match &plan {
+            Some(p) => Network::new(&g).with_faults(p.clone()),
+            None => Network::new(&g),
+        };
+        let seq = base
+            .clone()
+            .with_engine(EngineMode::Sequential)
+            .exec(make())
+            .audited()
+            .run()
+            .expect("sequential audited run");
+        assert!(!seq.violations.is_empty(), "the probe protocol must actually misbehave");
+        for threads in [2usize, 3, 7] {
+            let par = base
+                .clone()
+                .with_engine(EngineMode::Parallel { threads })
+                .exec(make())
+                .audited()
+                .run()
+                .expect("parallel audited run");
+            assert_eq!(
+                par.violations.len(),
+                seq.violations.len(),
+                "faulted={}: violation count diverged at {threads} threads",
+                plan.is_some()
+            );
+            for (i, (s, p)) in seq.violations.iter().zip(&par.violations).enumerate() {
+                assert_eq!(
+                    s,
+                    p,
+                    "faulted={}: violation {i} diverged at {threads} threads",
+                    plan.is_some()
+                );
+            }
+            assert_eq!(par.stats, seq.stats);
+        }
+    }
 }

@@ -1,5 +1,5 @@
 //! The parallel engine's contract: for any protocol, topology, and thread
-//! count, `run`/`run_traced` under `EngineMode::Parallel` produce results
+//! count, runs under `EngineMode::Parallel` produce results
 //! byte-identical to the single-threaded reference engine — statistics,
 //! per-round traces, and the full final node states.
 //!
@@ -33,19 +33,19 @@ where
     F: Fn(&Network<'_>) -> Vec<P>,
 {
     let reference = base.clone().with_engine(EngineMode::Sequential);
-    let (ref_run, ref_trace) =
-        reference.run_sequential_traced(make(&reference)).expect("reference run");
-    let ref_states = format!("{:?}", ref_run.nodes);
+    let ref_out =
+        reference.exec(make(&reference)).traced().run_sequential().expect("reference run");
+    let ref_states = format!("{:?}", ref_out.nodes);
     for threads in [2usize, 5] {
         let net = base.clone().with_engine(EngineMode::Parallel { threads });
-        let (run, trace) = net.run_traced(make(&net)).expect("parallel run");
-        assert_eq!(run.stats, ref_run.stats, "{label}: stats diverged at {threads} threads");
+        let out = net.exec(make(&net)).traced().run().expect("parallel run");
+        assert_eq!(out.stats, ref_out.stats, "{label}: stats diverged at {threads} threads");
         assert_eq!(
-            trace.rounds, ref_trace.rounds,
+            out.trace.rounds, ref_out.trace.rounds,
             "{label}: trace diverged at {threads} threads"
         );
         assert_eq!(
-            format!("{:?}", run.nodes),
+            format!("{:?}", out.nodes),
             ref_states,
             "{label}: node states diverged at {threads} threads"
         );
@@ -131,7 +131,8 @@ fn traced_and_untraced_runs_report_identical_stats() {
         let net = Network::new(&g);
         let n = g.n();
         let plain = net.run(BfsTreeProtocol::instances(n, 0)).expect("plain");
-        let (traced, trace) = net.run_traced(BfsTreeProtocol::instances(n, 0)).expect("traced");
+        let traced = net.exec(BfsTreeProtocol::instances(n, 0)).traced().run().expect("traced");
+        let trace = &traced.trace;
         assert_eq!(plain.stats, traced.stats, "{name}: tracing changed the run statistics");
         assert_eq!(
             trace.total_bits(),
@@ -163,11 +164,7 @@ fn parallel_engine_reports_identical_errors() {
     }
     impl NodeProtocol for Hog {
         type Msg = Big;
-        fn on_round(
-            &mut self,
-            ctx: &mut congest::runtime::Ctx<'_, Big>,
-            _inbox: &[(usize, Big)],
-        ) {
+        fn on_round(&mut self, ctx: &mut congest::runtime::Ctx<'_, Big>, _inbox: &[(usize, Big)]) {
             if !self.sent {
                 let cap = ctx.cap_bits();
                 for &w in &[ctx.neighbors()[0], ctx.neighbors()[0]] {
@@ -185,10 +182,8 @@ fn parallel_engine_reports_identical_errors() {
     let seq_err = Network::new(&g).run_sequential(make()).unwrap_err();
     assert!(matches!(seq_err, RuntimeError::BandwidthExceeded { .. }));
     for threads in [2usize, 3, 8] {
-        let par_err = Network::new(&g)
-            .with_engine(EngineMode::Parallel { threads })
-            .run(make())
-            .unwrap_err();
+        let par_err =
+            Network::new(&g).with_engine(EngineMode::Parallel { threads }).run(make()).unwrap_err();
         assert_eq!(par_err, seq_err, "error diverged at {threads} threads");
     }
 }
@@ -208,28 +203,26 @@ mod differential {
     /// Random connected topologies: paths, grids, stars, random graphs, and
     /// random trees, up to ~256 nodes.
     fn arb_topology() -> impl Strategy<Value = (String, Graph)> {
-        ((0usize..5), (0usize..1000), (0u64..1000)).prop_map(|(family, size, seed)| {
-            match family {
-                0 => {
-                    let n = 8 + size % 249;
-                    (format!("path({n})"), path(n))
-                }
-                1 => {
-                    let (w, h) = (2 + size % 15, 2 + seed as usize % 15);
-                    (format!("grid({w}x{h})"), grid(w, h))
-                }
-                2 => {
-                    let n = 8 + size % 249;
-                    (format!("star({n})"), star(n))
-                }
-                3 => {
-                    let n = 16 + size % 177;
-                    (format!("random({n},{seed})"), random_connected_m(n, n + n / 2, seed))
-                }
-                _ => {
-                    let n = 8 + size % 121;
-                    (format!("tree({n},{seed})"), random_tree(n, seed))
-                }
+        ((0usize..5), (0usize..1000), (0u64..1000)).prop_map(|(family, size, seed)| match family {
+            0 => {
+                let n = 8 + size % 249;
+                (format!("path({n})"), path(n))
+            }
+            1 => {
+                let (w, h) = (2 + size % 15, 2 + seed as usize % 15);
+                (format!("grid({w}x{h})"), grid(w, h))
+            }
+            2 => {
+                let n = 8 + size % 249;
+                (format!("star({n})"), star(n))
+            }
+            3 => {
+                let n = 16 + size % 177;
+                (format!("random({n},{seed})"), random_connected_m(n, n + n / 2, seed))
+            }
+            _ => {
+                let n = 8 + size % 121;
+                (format!("tree({n},{seed})"), random_tree(n, seed))
             }
         })
     }

@@ -18,17 +18,19 @@ where
     F: Fn() -> Vec<P>,
 {
     let reference = Network::new(g).with_faults(plan.clone());
-    let (ref_run, ref_trace) = reference.run_sequential_traced(make()).expect("reference run");
-    let ref_states = format!("{:?}", ref_run.nodes);
+    let ref_out = reference.exec(make()).traced().run_sequential().expect("reference run");
+    let ref_states = format!("{:?}", ref_out.nodes);
     for threads in [2usize, 3, 5] {
-        let net = Network::new(g)
-            .with_faults(plan.clone())
-            .with_engine(EngineMode::Parallel { threads });
-        let (run, trace) = net.run_traced(make()).expect("parallel run");
-        assert_eq!(run.stats, ref_run.stats, "{label}: stats diverged at {threads} threads");
-        assert_eq!(trace.rounds, ref_trace.rounds, "{label}: trace diverged at {threads} threads");
+        let net =
+            Network::new(g).with_faults(plan.clone()).with_engine(EngineMode::Parallel { threads });
+        let out = net.exec(make()).traced().run().expect("parallel run");
+        assert_eq!(out.stats, ref_out.stats, "{label}: stats diverged at {threads} threads");
         assert_eq!(
-            format!("{:?}", run.nodes),
+            out.trace.rounds, ref_out.trace.rounds,
+            "{label}: trace diverged at {threads} threads"
+        );
+        assert_eq!(
+            format!("{:?}", out.nodes),
             ref_states,
             "{label}: node states diverged at {threads} threads"
         );

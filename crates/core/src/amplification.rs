@@ -176,14 +176,9 @@ mod tests {
         let runs = |p: f64| -> f64 {
             let mut total = 0usize;
             for seed in 0..6 {
-                total += amplitude_amplification(
-                    &net,
-                    PreparationSubroutine::new(8, p),
-                    0.2,
-                    seed,
-                )
-                .unwrap()
-                .iterates;
+                total += amplitude_amplification(&net, PreparationSubroutine::new(8, p), 0.2, seed)
+                    .unwrap()
+                    .iterates;
             }
             total as f64 / 6.0
         };

@@ -53,9 +53,7 @@ impl BvInstance {
     /// The hidden string (ground truth).
     pub fn hidden(&self) -> Vec<bool> {
         let m = self.local[0].len();
-        (0..m)
-            .map(|i| self.local.iter().fold(false, |a, v| a ^ v[i]))
-            .collect()
+        (0..m).map(|i| self.local.iter().fold(false, |a, v| a ^ v[i])).collect()
     }
 }
 
@@ -121,21 +119,14 @@ pub fn classical_exact_bv(
     inst: &BvInstance,
     seed: u64,
 ) -> Result<BvResult, RuntimeError> {
-    let local: Vec<Vec<u64>> = inst
-        .local
-        .iter()
-        .map(|row| row.iter().map(|&b| b as u64).collect())
-        .collect();
+    let local: Vec<Vec<u64>> =
+        inst.local.iter().map(|row| row.iter().map(|&b| b as u64).collect()).collect();
     let m = inst.local[0].len();
     let provider = StoredValues::new(local, 1, CommOp::Xor);
     let mut oracle = CongestOracle::setup(net, provider, m, seed)?;
     let bits = oracle.query(&(0..m).collect::<Vec<_>>());
     let recovered: Vec<bool> = bits.iter().map(|&b| b == 1).collect();
-    Ok(BvResult {
-        recovered,
-        rounds: oracle.rounds(),
-        ledger: oracle.into_ledger(),
-    })
+    Ok(BvResult { recovered, rounds: oracle.rounds(), ledger: oracle.into_ledger() })
 }
 
 #[cfg(test)]
@@ -148,7 +139,8 @@ mod tests {
         let g = grid(4, 3);
         let net = Network::new(&g);
         for seed in 0..6 {
-            let hidden: Vec<bool> = (0..40).map(|i| (i * 7 + seed as usize).is_multiple_of(3)).collect();
+            let hidden: Vec<bool> =
+                (0..40).map(|i| (i * 7 + seed as usize).is_multiple_of(3)).collect();
             let inst = BvInstance::random(12, &hidden, seed);
             let res = quantum_bv(&net, &inst, seed).unwrap();
             assert_eq!(res.recovered, hidden, "seed {seed}");

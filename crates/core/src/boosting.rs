@@ -55,12 +55,7 @@ pub fn boosted_diameter(
         }
     }
     let rounds = ledger.total_rounds();
-    Ok(Boosted {
-        value: best.expect("reps >= 1").value,
-        repetitions: reps,
-        rounds,
-        ledger,
-    })
+    Ok(Boosted { value: best.expect("reps >= 1").value, repetitions: reps, rounds, ledger })
 }
 
 /// Radius with success probability `1 − n^{−c}`: min over repetitions.
@@ -80,12 +75,7 @@ pub fn boosted_radius(net: &Network<'_>, c: f64, seed: u64) -> Result<Boosted<Di
         }
     }
     let rounds = ledger.total_rounds();
-    Ok(Boosted {
-        value: best.expect("reps >= 1").value,
-        repetitions: reps,
-        rounds,
-        ledger,
-    })
+    Ok(Boosted { value: best.expect("reps >= 1").value, repetitions: reps, rounds, ledger })
 }
 
 /// Girth with success probability `1 − n^{−c}`: min over repetitions
@@ -116,12 +106,7 @@ pub fn boosted_girth(
         }
     }
     let rounds = ledger.total_rounds();
-    Ok(Boosted {
-        value: best.and_then(|b| b.girth),
-        repetitions: reps,
-        rounds,
-        ledger,
-    })
+    Ok(Boosted { value: best.and_then(|b| b.girth), repetitions: reps, rounds, ledger })
 }
 
 #[cfg(test)]

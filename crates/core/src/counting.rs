@@ -51,11 +51,8 @@ pub fn quantum_count_quorum_slots(
     assert!(eps_slots > 0.0);
     let n = net.graph().n();
     assert_eq!(inst.availability.len(), n);
-    let local: Vec<Vec<u64>> = inst
-        .availability
-        .iter()
-        .map(|row| row.iter().map(|&b| b as u64).collect())
-        .collect();
+    let local: Vec<Vec<u64>> =
+        inst.availability.iter().map(|row| row.iter().map(|&b| b as u64).collect()).collect();
     let provider = StoredValues::new(local, bits_for(n as u64), CommOp::Sum);
     let mut oracle = CongestOracle::setup(net, provider, 1, seed)?;
     let p = oracle.suggested_p();
@@ -83,11 +80,8 @@ pub fn classical_count_quorum_slots(
     seed: u64,
 ) -> Result<CountingResult, RuntimeError> {
     let n = net.graph().n();
-    let local: Vec<Vec<u64>> = inst
-        .availability
-        .iter()
-        .map(|row| row.iter().map(|&b| b as u64).collect())
-        .collect();
+    let local: Vec<Vec<u64>> =
+        inst.availability.iter().map(|row| row.iter().map(|&b| b as u64).collect()).collect();
     let provider = StoredValues::new(local, bits_for(n as u64), CommOp::Sum);
     let k = inst.k();
     let mut oracle = CongestOracle::setup(net, provider, k, seed)?;

@@ -80,7 +80,12 @@ impl BoundedFloodProtocol {
     /// Instances: `sources[i]` floods token `i`; nodes not in
     /// `participants` ignore all traffic (the heavy vertices excluded from
     /// the light subgraph).
-    pub fn instances(n: usize, sources: &[NodeId], participants: &[bool], delta: Dist) -> Vec<Self> {
+    pub fn instances(
+        n: usize,
+        sources: &[NodeId],
+        participants: &[bool],
+        delta: Dist,
+    ) -> Vec<Self> {
         assert_eq!(participants.len(), n);
         let mut rank = vec![None; n];
         for (i, &s) in sources.iter().enumerate() {
@@ -241,10 +246,7 @@ impl ValueProvider for HeavyCycleProvider {
         let n = self.truth.len();
         Ok((0..n)
             .map(|v| {
-                indices
-                    .iter()
-                    .map(|&s| if s == v { self.truth[s] } else { NO_CYCLE })
-                    .collect()
+                indices.iter().map(|&s| if s == v { self.truth[s] } else { NO_CYCLE }).collect()
             })
             .collect())
     }
@@ -490,11 +492,9 @@ mod tests {
     fn quantum_detects_cycles_usually() {
         let mut hits = 0;
         let mut total = 0;
-        for (g, girth) in [
-            (cycle_with_body(6, 20, 1), 6usize),
-            (many_cycles(4, 4, 2), 4),
-            (grid(6, 4), 4),
-        ] {
+        for (g, girth) in
+            [(cycle_with_body(6, 20, 1), 6usize), (many_cycles(4, 4, 2), 4), (grid(6, 4), 4)]
+        {
             let net = Network::new(&g);
             for seed in 0..3 {
                 total += 1;
@@ -577,9 +577,7 @@ mod tests {
                         assert_eq!(l as u32, t, "seed {seed}, k {k}");
                     }
                     (None, None) => {}
-                    (got, want) =>
-
-                        panic!("seed {seed}, k {k}: got {got:?}, want {want:?}"),
+                    (got, want) => panic!("seed {seed}, k {k}: got {got:?}, want {want:?}"),
                 }
             }
         }

@@ -66,9 +66,7 @@ impl DjInstance {
     /// The XOR aggregate (ground truth).
     pub fn aggregate(&self) -> Vec<bool> {
         let k = self.local[0].len();
-        (0..k)
-            .map(|i| self.local.iter().fold(false, |a, v| a ^ v[i]))
-            .collect()
+        (0..k).map(|i| self.local.iter().fold(false, |a, v| a ^ v[i])).collect()
     }
 }
 
@@ -88,11 +86,8 @@ pub struct DjResult {
 fn provider_for(net: &Network<'_>, inst: &DjInstance) -> StoredValues {
     let n = net.graph().n();
     assert_eq!(inst.local.len(), n, "instance size must match the network");
-    let local: Vec<Vec<u64>> = inst
-        .local
-        .iter()
-        .map(|row| row.iter().map(|&b| b as u64).collect())
-        .collect();
+    let local: Vec<Vec<u64>> =
+        inst.local.iter().map(|row| row.iter().map(|&b| b as u64).collect()).collect();
     StoredValues::new(local, 1, CommOp::Xor)
 }
 
@@ -169,11 +164,8 @@ pub fn classical_sampling_dj(
     let mut rng = StdRng::seed_from_u64(seed ^ 0x006a_6f7a_7361);
     let idxs: Vec<usize> = (0..samples.min(k)).map(|_| rng.gen_range(0..k)).collect();
     let bits = oracle.query(&idxs);
-    let answer = if bits.iter().all(|&b| b == bits[0]) {
-        DjAnswer::Constant
-    } else {
-        DjAnswer::Balanced
-    };
+    let answer =
+        if bits.iter().all(|&b| b == bits[0]) { DjAnswer::Constant } else { DjAnswer::Balanced };
     Ok(DjResult {
         answer,
         rounds: oracle.rounds(),

@@ -68,9 +68,7 @@ impl DistinctnessInstance {
     /// The aggregate vector (ground truth).
     pub fn aggregate(&self) -> Vec<u64> {
         let k = self.local[0].len();
-        (0..k)
-            .map(|i| self.local.iter().map(|v| v[i]).sum())
-            .collect()
+        (0..k).map(|i| self.local.iter().map(|v| v[i]).sum()).collect()
     }
 
     /// The true colliding pair with smallest indices, if any.

@@ -76,11 +76,7 @@ impl ValueProvider for EccentricityProvider {
         // α(p): pipelined multi-source BFS from the p queried nodes.
         let mbfs = multi_source_bfs(net, indices)?;
         ledger.record("alpha/multi-bfs", mbfs.stats);
-        Ok(mbfs
-            .dist
-            .into_iter()
-            .map(|row| row.into_iter().map(|d| d as u64).collect())
-            .collect())
+        Ok(mbfs.dist.into_iter().map(|row| row.into_iter().map(|d| d as u64).collect()).collect())
     }
 
     fn truth(&self, i: usize) -> u64 {
@@ -237,11 +233,7 @@ mod tests {
     fn quantum_diameter_correct_usually() {
         let mut hits = 0;
         let mut total = 0;
-        for (g, seeds) in [
-            (grid(5, 4), 3u64),
-            (cycle(15), 3),
-            (random_connected(24, 0.12, 4), 3),
-        ] {
+        for (g, seeds) in [(grid(5, 4), 3u64), (cycle(15), 3), (random_connected(24, 0.12, 4), 3)] {
             let truth = g.diameter().unwrap();
             let net = Network::new(&g);
             for seed in 0..seeds {
@@ -313,9 +305,6 @@ mod tests {
         let net4 = Network::new(&g4);
         let r1 = quantum_diameter(&net1, 2).unwrap().rounds;
         let r4 = quantum_diameter(&net4, 2).unwrap().rounds;
-        assert!(
-            (r4 as f64) < 3.0 * r1 as f64,
-            "4× nodes should cost ≈ 2× rounds: {r1} -> {r4}"
-        );
+        assert!((r4 as f64) < 3.0 * r1 as f64, "4× nodes should cost ≈ 2× rounds: {r1} -> {r4}");
     }
 }

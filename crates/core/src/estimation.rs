@@ -213,8 +213,7 @@ mod tests {
         let net = Network::new(&g);
         let mut ok = 0;
         for seed in 0..10 {
-            let res =
-                distributed_phase_estimation(&net, 0.3141, 3, 0.02, 0.1, seed).unwrap();
+            let res = distributed_phase_estimation(&net, 0.3141, 3, 0.02, 0.1, seed).unwrap();
             if phase_distance(res.phi, 0.3141) <= 0.02 {
                 ok += 1;
             }
@@ -242,8 +241,8 @@ mod tests {
         let net = Network::new(&g);
         let mut ok = 0;
         for seed in 0..10 {
-            let res = distributed_amplitude_estimation(&net, 0.25, 0.5, 4, 0.05, 0.1, seed)
-                .unwrap();
+            let res =
+                distributed_amplitude_estimation(&net, 0.25, 0.5, 4, 0.05, 0.1, seed).unwrap();
             if (res.estimate - 0.25).abs() <= 0.08 {
                 ok += 1;
             }

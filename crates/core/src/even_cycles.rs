@@ -30,7 +30,13 @@ const NOT_FOUND: u64 = u64::MAX >> 1;
 /// Intended for small `k` (≤ 10) on sparse graphs.
 pub fn on_exact_cycle(g: &Graph, anchor: usize, k: usize) -> bool {
     assert!(k >= 3);
-    fn dfs(g: &Graph, anchor: usize, path: &mut Vec<usize>, on_path: &mut [bool], k: usize) -> bool {
+    fn dfs(
+        g: &Graph,
+        anchor: usize,
+        path: &mut Vec<usize>,
+        on_path: &mut [bool],
+        k: usize,
+    ) -> bool {
         let u = *path.last().unwrap();
         if path.len() == k {
             return g.has_edge(u, anchor);
@@ -152,10 +158,7 @@ impl ValueProvider for ExactCycleProvider {
         let n = self.truth.len();
         Ok((0..n)
             .map(|v| {
-                indices
-                    .iter()
-                    .map(|&s| if s == v { self.truth[s] } else { NOT_FOUND })
-                    .collect()
+                indices.iter().map(|&s| if s == v { self.truth[s] } else { NOT_FOUND }).collect()
             })
             .collect())
     }
@@ -219,7 +222,8 @@ pub fn quantum_exact_even_cycle(
         let charge = k
             + ((light_ids.len() as f64).powf(beta * (k as f64 / 2.0).ceil()).ceil() as usize)
                 * log_n;
-        ledger.record("light/color-bfs(charged)", RunStats { rounds: charge, ..Default::default() });
+        ledger
+            .record("light/color-bfs(charged)", RunStats { rounds: charge, ..Default::default() });
     }
 
     // Heavy phase: framework minimum finding with multiplicity n^β.

@@ -26,9 +26,9 @@ use congest::bfs::build_bfs_tree;
 use congest::graph::Graph;
 use congest::runtime::{Network, RuntimeError};
 use congest::tree_comm::{distribute_register, gather_register, Register, Schedule};
+use pquery::deutsch_jozsa::DjAnswer;
 use qsim::complex::C64;
 use qsim::state::{State, EPS};
-use pquery::deutsch_jozsa::DjAnswer;
 
 /// Maximum total qubits (`n·q`) the exact mode will simulate.
 pub const MAX_TOTAL_QUBITS: usize = 22;
@@ -48,11 +48,15 @@ pub struct ExactDistributeResult {
 
 /// Build the CNOT fan-out (or its inverse) for tree `parent[]` on a global
 /// state with `q` qubits per node.
-fn apply_fanout(state: &mut State, order: &[usize], parents: &[Option<usize>], q: usize, invert: bool) {
-    let edges: Vec<(usize, usize)> = order
-        .iter()
-        .filter_map(|&v| parents[v].map(|p| (p, v)))
-        .collect();
+fn apply_fanout(
+    state: &mut State,
+    order: &[usize],
+    parents: &[Option<usize>],
+    q: usize,
+    invert: bool,
+) {
+    let edges: Vec<(usize, usize)> =
+        order.iter().filter_map(|&v| parents[v].map(|p| (p, v))).collect();
     let iter: Box<dyn Iterator<Item = &(usize, usize)>> =
         if invert { Box::new(edges.iter().rev()) } else { Box::new(edges.iter()) };
     for &(p, v) in iter {
@@ -231,11 +235,7 @@ pub fn exact_distributed_dj(
     debug_assert_eq!(answer, expected, "exactness violated");
     debug_assert!(outcome_probability > 1.0 - EPS);
 
-    Ok(ExactDjResult {
-        answer,
-        outcome_probability,
-        rounds: dstats.rounds + gstats.rounds,
-    })
+    Ok(ExactDjResult { answer, outcome_probability, rounds: dstats.rounds + gstats.rounds })
 }
 
 /// Outcome of an exact distributed Bernstein–Vazirani run.
@@ -298,10 +298,8 @@ pub fn exact_distributed_bv(
         let share = share.clone();
         state.apply_phase_fn(move |x| {
             let j = (x & mask) >> vm;
-            let dot = share
-                .iter()
-                .enumerate()
-                .fold(false, |acc, (i, &b)| acc ^ (b && (j >> i) & 1 == 1));
+            let dot =
+                share.iter().enumerate().fold(false, |acc, (i, &b)| acc ^ (b && (j >> i) & 1 == 1));
             if dot {
                 std::f64::consts::PI
             } else {
@@ -363,7 +361,7 @@ mod tests {
     #[test]
     fn exact_dj_constant_and_balanced() {
         let g = balanced_tree(2, 2); // 7 nodes
-        // k = 4 (q = 2): 7 × 2 = 14 qubits.
+                                     // k = 4 (q = 2): 7 × 2 = 14 qubits.
         let n = g.n();
         // Constant: shares XOR to all-ones.
         let mut local = vec![vec![false; 4]; n];
@@ -412,9 +410,8 @@ mod tests {
         // k = 2, q = 1: enumerate all share patterns whose XOR is a
         // promise input.
         for bits in 0..64u32 {
-            let local: Vec<Vec<bool>> = (0..3)
-                .map(|v| (0..2).map(|i| bits >> (v * 2 + i) & 1 == 1).collect())
-                .collect();
+            let local: Vec<Vec<bool>> =
+                (0..3).map(|v| (0..2).map(|i| bits >> (v * 2 + i) & 1 == 1).collect()).collect();
             let agg: Vec<bool> =
                 (0..2).map(|i| local.iter().fold(false, |a, x| a ^ x[i])).collect();
             if qsim::deutsch_jozsa::check_promise(&agg).is_err() {

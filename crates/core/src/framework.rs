@@ -118,11 +118,7 @@ impl ValueProvider for StoredValues {
         indices: &[usize],
         _ledger: &mut RoundLedger,
     ) -> Result<Vec<Vec<u64>>, RuntimeError> {
-        Ok(self
-            .local
-            .iter()
-            .map(|mine| indices.iter().map(|&j| mine[j]).collect())
-            .collect())
+        Ok(self.local.iter().map(|mine| indices.iter().map(|&j| mine[j]).collect()).collect())
     }
 
     fn truth(&self, i: usize) -> u64 {
@@ -176,12 +172,7 @@ impl ValueProvider for IndicatorValues {
     ) -> Result<Vec<Vec<u64>>, RuntimeError> {
         let id = self.op.identity();
         Ok((0..self.values.len())
-            .map(|v| {
-                indices
-                    .iter()
-                    .map(|&j| if j == v { self.values[v] } else { id })
-                    .collect()
-            })
+            .map(|v| indices.iter().map(|&j| if j == v { self.values[v] } else { id }).collect())
             .collect())
     }
 
@@ -230,16 +221,7 @@ impl<'g, P: ValueProvider> CongestOracle<'g, P> {
         ledger.record("setup/leader-election", stats);
         let tree = build_bfs_tree(net, leader)?;
         ledger.record("setup/bfs-tree", tree.stats);
-        Ok(CongestOracle {
-            net,
-            leader,
-            tree,
-            provider,
-            p,
-            batches: 0,
-            queries: 0,
-            ledger,
-        })
+        Ok(CongestOracle { net, leader, tree, provider, p, batches: 0, queries: 0, ledger })
     }
 
     /// The paper's usual batch width `p = Θ(D)`, derived from the measured
@@ -326,8 +308,8 @@ impl<'g, P: ValueProvider> BatchSource for CongestOracle<'g, P> {
         self.ledger.record("batch/aggregate", agg.stats);
 
         // Phase 3 (Lemma 7 reversed): uncompute the index copies.
-        let (_root_reg, stats) = gather_register(self.net, &self.tree.views, copies)
-            .expect("gather phase failed");
+        let (_root_reg, stats) =
+            gather_register(self.net, &self.tree.views, copies).expect("gather phase failed");
         self.ledger.record("batch/gather", stats);
 
         agg.values
@@ -357,7 +339,15 @@ pub fn theorem8_rounds(d: usize, b: f64, p: usize, q: u64, k: usize, n: usize) -
 }
 
 /// Corollary 9's round bound: Theorem 8 plus `b·α(p)`.
-pub fn corollary9_rounds(d: usize, b: f64, p: usize, q: u64, k: usize, n: usize, alpha: f64) -> f64 {
+pub fn corollary9_rounds(
+    d: usize,
+    b: f64,
+    p: usize,
+    q: u64,
+    k: usize,
+    n: usize,
+    alpha: f64,
+) -> f64 {
     theorem8_rounds(d, b, p, q, k, n) + b * alpha
 }
 
@@ -418,9 +408,8 @@ mod tests {
         let k = 64;
         let mut rng = StdRng::seed_from_u64(9);
         use rand::Rng;
-        let mut local: Vec<Vec<u64>> = (0..24)
-            .map(|_| (0..k).map(|_| rng.gen_range(0..2u64)).collect())
-            .collect();
+        let mut local: Vec<Vec<u64>> =
+            (0..24).map(|_| (0..k).map(|_| rng.gen_range(0..2u64)).collect()).collect();
         // Force the aggregate: clear column parity, then set index 17.
         for j in 0..k {
             let parity = local.iter().map(|v| v[j]).fold(0, |a, b| a ^ b);
@@ -482,10 +471,7 @@ mod tests {
             seq.query(&[j]);
         }
         let sequential = seq.rounds() - base;
-        assert!(
-            batched * 2 < sequential,
-            "batched {batched} vs sequential {sequential}"
-        );
+        assert!(batched * 2 < sequential, "batched {batched} vs sequential {sequential}");
     }
 
     #[test]

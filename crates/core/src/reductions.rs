@@ -112,10 +112,7 @@ pub fn disjointness_to_distinctness(
         local[hub_a][i] = if inst.a[i] { iv } else { 2 * k as u64 + iv };
         local[hub_b][k + i] = if inst.b[i] { iv } else { 4 * k as u64 + iv };
     }
-    DistinctnessGadget {
-        graph,
-        instance: DistinctnessInstance { local, n_bound: 6 * k as u64 },
-    }
+    DistinctnessGadget { graph, instance: DistinctnessInstance { local, n_bound: 6 * k as u64 } }
 }
 
 /// Decode: a collision exists iff the sets intersect; moreover the
@@ -142,20 +139,10 @@ pub struct BetweenNodesGadget {
 /// star stays non-degenerate.
 pub fn disjointness_to_between_nodes(inst: &DisjointnessInstance) -> BetweenNodesGadget {
     let k = inst.k() as u64;
-    let sa: Vec<u64> = inst
-        .a
-        .iter()
-        .enumerate()
-        .filter(|(_, &x)| x)
-        .map(|(i, _)| (i + 1) as u64)
-        .collect();
-    let sb: Vec<u64> = inst
-        .b
-        .iter()
-        .enumerate()
-        .filter(|(_, &x)| x)
-        .map(|(i, _)| (i + 1) as u64)
-        .collect();
+    let sa: Vec<u64> =
+        inst.a.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| (i + 1) as u64).collect();
+    let sb: Vec<u64> =
+        inst.b.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| (i + 1) as u64).collect();
     let la = sa.len().max(1);
     let lb = sb.len().max(1);
     let graph = congest::generators::double_star(la, lb);
@@ -225,7 +212,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_disjointness(k: usize, force_intersect: Option<bool>, seed: u64) -> DisjointnessInstance {
+    fn random_disjointness(
+        k: usize,
+        force_intersect: Option<bool>,
+        seed: u64,
+    ) -> DisjointnessInstance {
         let mut rng = StdRng::seed_from_u64(seed);
         loop {
             let a: Vec<bool> = (0..k).map(|_| rng.gen_bool(0.3)).collect();

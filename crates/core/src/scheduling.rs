@@ -41,9 +41,7 @@ impl MeetingInstance {
         assert!((0.0..=1.0).contains(&p_free));
         let mut rng = StdRng::seed_from_u64(seed);
         MeetingInstance {
-            availability: (0..n)
-                .map(|_| (0..k).map(|_| rng.gen_bool(p_free)).collect())
-                .collect(),
+            availability: (0..n).map(|_| (0..k).map(|_| rng.gen_bool(p_free)).collect()).collect(),
         }
     }
 
@@ -55,9 +53,7 @@ impl MeetingInstance {
     /// Per-slot attendance totals (centralized ground truth).
     pub fn attendance(&self) -> Vec<u64> {
         let k = self.k();
-        (0..k)
-            .map(|i| self.availability.iter().filter(|row| row[i]).count() as u64)
-            .collect()
+        (0..k).map(|i| self.availability.iter().filter(|row| row[i]).count() as u64).collect()
     }
 
     /// The maximum attendance (ground truth).
@@ -84,11 +80,8 @@ pub struct MeetingResult {
 fn provider_for(net: &Network<'_>, inst: &MeetingInstance) -> StoredValues {
     let n = net.graph().n();
     assert_eq!(inst.availability.len(), n, "instance size must match the network");
-    let local: Vec<Vec<u64>> = inst
-        .availability
-        .iter()
-        .map(|row| row.iter().map(|&b| b as u64).collect())
-        .collect();
+    let local: Vec<Vec<u64>> =
+        inst.availability.iter().map(|row| row.iter().map(|&b| b as u64).collect()).collect();
     let q = bits_for(n as u64);
     StoredValues::new(local, q, CommOp::Sum)
 }
@@ -136,11 +129,8 @@ pub fn classical_meeting_scheduling(
     let mut oracle = CongestOracle::setup(net, provider, k, seed)?;
     let all: Vec<usize> = (0..k).collect();
     let totals = oracle.query(&all);
-    let (slot, &attendance) = totals
-        .iter()
-        .enumerate()
-        .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
-        .expect("k >= 1");
+    let (slot, &attendance) =
+        totals.iter().enumerate().max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i))).expect("k >= 1");
     Ok(MeetingResult {
         slot,
         attendance,
@@ -217,12 +207,7 @@ mod tests {
         let inst = MeetingInstance::random(16, 4000, 0.3, 9);
         let qr = quantum_meeting_scheduling(&net, &inst, 3).unwrap();
         let cr = classical_meeting_scheduling(&net, &inst, 3).unwrap();
-        assert!(
-            qr.rounds < cr.rounds,
-            "quantum {} !< classical {}",
-            qr.rounds,
-            cr.rounds
-        );
+        assert!(qr.rounds < cr.rounds, "quantum {} !< classical {}", qr.rounds, cr.rounds);
     }
 
     #[test]

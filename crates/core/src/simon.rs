@@ -64,9 +64,7 @@ impl SimonInstance {
     /// The aggregate table (ground truth).
     pub fn table(&self) -> Vec<u64> {
         let size = self.local[0].len();
-        (0..size)
-            .map(|x| self.local.iter().fold(0, |a, v| a ^ v[x]))
-            .collect()
+        (0..size).map(|x| self.local.iter().fold(0, |a, v| a ^ v[x])).collect()
     }
 
     /// The hidden shift (ground truth; used only for validation).

@@ -166,9 +166,7 @@ pub fn quantum_triangle_detection(net: &Network<'_>) -> Result<TriangleResult, R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use congest::generators::{
-        complete, cycle, grid, hypercube, lollipop, random_tree, star,
-    };
+    use congest::generators::{complete, cycle, grid, hypercube, lollipop, random_tree, star};
 
     #[test]
     fn reference_triangle_detection() {
@@ -183,14 +181,7 @@ mod tests {
 
     #[test]
     fn classical_protocol_matches_reference() {
-        for g in [
-            complete(6),
-            lollipop(5, 8),
-            grid(5, 4),
-            cycle(9),
-            star(10),
-            random_tree(25, 3),
-        ] {
+        for g in [complete(6), lollipop(5, 8), grid(5, 4), cycle(9), star(10), random_tree(25, 3)] {
             let net = Network::new(&g);
             let res = classical_triangle_detection(&net).unwrap();
             assert_eq!(res.triangle.is_some(), find_triangle(&g).is_some(), "{g:?}");

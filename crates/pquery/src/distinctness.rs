@@ -89,10 +89,7 @@ where
         let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (i, &v) in values.iter().enumerate() {
             if let Some(&j) = seen.get(&v) {
-                return DistinctnessOutcome {
-                    pair: Some((j, i)),
-                    batches: src.batches() - start,
-                };
+                return DistinctnessOutcome { pair: Some((j, i)), batches: src.batches() - start };
             }
             seen.insert(v, i);
         }
@@ -116,10 +113,7 @@ where
             if let Some(pair) = walk.check(crate::walk::collision_in) {
                 // The classical trajectory stumbled on a pair directly; the
                 // quantum walk certainly finds it too.
-                return DistinctnessOutcome {
-                    pair: Some(pair),
-                    batches: src.batches() - start,
-                };
+                return DistinctnessOutcome { pair: Some(pair), batches: src.batches() - start };
             }
         }
     }
@@ -130,11 +124,8 @@ where
         let &(i, j) = pairs.choose(rng).expect("nonempty");
         // Final verification: query the reported pair honestly (two
         // batches when p = 1).
-        let vals = if p >= 2 {
-            src.query(&[i, j])
-        } else {
-            vec![src.query(&[i])[0], src.query(&[j])[0]]
-        };
+        let vals =
+            if p >= 2 { src.query(&[i, j]) } else { vec![src.query(&[i])[0], src.query(&[j])[0]] };
         debug_assert_eq!(vals[0], vals[1]);
         if vals[0] == vals[1] {
             return DistinctnessOutcome {

@@ -160,10 +160,7 @@ where
         // Verification batch: genuinely query the measured subset.
         let vals = src.query(&subset);
         if let Some(pos) = vals.iter().position(|&v| pred(v)) {
-            return SearchOutcome {
-                found: Some(subset[pos]),
-                batches: src.batches() - start,
-            };
+            return SearchOutcome { found: Some(subset[pos]), batches: src.batches() - start };
         }
         if src.batches() - start >= cutoff {
             return SearchOutcome { found: None, batches: src.batches() - start };

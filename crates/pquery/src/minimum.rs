@@ -117,7 +117,8 @@ mod tests {
         let mut hits = 0;
         for trial in 0..20 {
             let k = 500;
-            let data: Vec<u64> = (0..k).map(|i| ((i * 7919 + trial * 13) % 1000 + 5) as u64).collect();
+            let data: Vec<u64> =
+                (0..k).map(|i| ((i * 7919 + trial * 13) % 1000 + 5) as u64).collect();
             let true_min = *data.iter().min().unwrap();
             let mut src = VecSource::new(data, 8);
             let out = find_extremum(&mut src, Extremum::Min, &mut rng);
@@ -161,7 +162,8 @@ mod tests {
             let runs = 25;
             let mut total = 0;
             for r in 0..runs {
-                let data: Vec<u64> = (0..k as u64).map(|i| (i * 2654435761 + r as u64 * 97) % 100000).collect();
+                let data: Vec<u64> =
+                    (0..k as u64).map(|i| (i * 2654435761 + r as u64 * 97) % 100000).collect();
                 let mut src = VecSource::new(data, p);
                 total += find_extremum(&mut src, Extremum::Min, rng).batches;
             }
@@ -181,7 +183,8 @@ mod tests {
             let runs = 25;
             let mut total = 0;
             for r in 0..runs {
-                let mut data: Vec<u64> = (0..k).map(|i| (100 + (i * 37 + r) % 1000) as u64).collect();
+                let mut data: Vec<u64> =
+                    (0..k).map(|i| (100 + (i * 37 + r) % 1000) as u64).collect();
                 for j in 0..ell {
                     data[(j * 613 + r) % k] = 1; // ℓ minimum copies
                 }

@@ -42,7 +42,10 @@ pub fn controlled_iterate_power<F: Fn(usize) -> bool + Sync>(
     let cbit = 1usize << control;
     let h = {
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        [[C64 { re: s, im: 0.0 }, C64 { re: s, im: 0.0 }], [C64 { re: s, im: 0.0 }, C64 { re: -s, im: 0.0 }]]
+        [
+            [C64 { re: s, im: 0.0 }, C64 { re: s, im: 0.0 }],
+            [C64 { re: s, im: 0.0 }, C64 { re: -s, im: 0.0 }],
+        ]
     };
     let dmask = ((1usize << q) - 1) << offset;
     for _ in 0..reps {

@@ -170,10 +170,10 @@ impl Circuit {
     /// Panics if `state` has fewer qubits than the circuit.
     pub fn apply(&self, state: &mut State) {
         assert!(state.num_qubits() >= self.n, "state too small for circuit");
-        let h = [[C64 { re: FRAC_1_SQRT_2, im: 0.0 }, C64 { re: FRAC_1_SQRT_2, im: 0.0 }], [
-            C64 { re: FRAC_1_SQRT_2, im: 0.0 },
-            C64 { re: -FRAC_1_SQRT_2, im: 0.0 },
-        ]];
+        let h = [
+            [C64 { re: FRAC_1_SQRT_2, im: 0.0 }, C64 { re: FRAC_1_SQRT_2, im: 0.0 }],
+            [C64 { re: FRAC_1_SQRT_2, im: 0.0 }, C64 { re: -FRAC_1_SQRT_2, im: 0.0 }],
+        ];
         for op in &self.ops {
             match op {
                 Op::H(q) => state.apply_1q(*q, h),
@@ -383,9 +383,12 @@ impl Pending {
         match op {
             Op::H(q) => self.merge_1q(*q, MAT_H, out),
             Op::X(q) => self.merge_1q(*q, MAT_X, out),
-            Op::Z(q) => {
-                self.merge_diag_1q(*q, MAT_Z, DiagTerm { mask: 1 << q, factor: c64(-1.0, 0.0) }, out)
-            }
+            Op::Z(q) => self.merge_diag_1q(
+                *q,
+                MAT_Z,
+                DiagTerm { mask: 1 << q, factor: c64(-1.0, 0.0) },
+                out,
+            ),
             Op::Phase(q, th) => self.merge_diag_1q(
                 *q,
                 mat_phase(*th),

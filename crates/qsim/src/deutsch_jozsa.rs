@@ -29,7 +29,11 @@ pub struct PromiseViolation {
 
 impl std::fmt::Display for PromiseViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "input of length {} with weight {} is neither constant nor balanced", self.k, self.weight)
+        write!(
+            f,
+            "input of length {} with weight {} is neither constant nor balanced",
+            self.k, self.weight
+        )
     }
 }
 

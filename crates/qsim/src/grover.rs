@@ -8,7 +8,12 @@ use std::f64::consts::PI;
 
 /// One Grover iterate on the `q` low-order qubits: phase oracle followed by
 /// the diffusion (inversion about the uniform superposition).
-pub fn grover_iterate<F: Fn(usize) -> bool + Sync>(state: &mut State, q: usize, k: usize, marked: &F) {
+pub fn grover_iterate<F: Fn(usize) -> bool + Sync>(
+    state: &mut State,
+    q: usize,
+    k: usize,
+    marked: &F,
+) {
     phase_oracle(state, q, k, marked);
     diffusion(state, q);
 }
@@ -180,9 +185,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let avg = |k: usize, rng: &mut StdRng| -> f64 {
             let runs = 30;
-            let total: usize = (0..runs)
-                .map(|_| grover_search(k, |i| i == 0, rng).queries)
-                .sum();
+            let total: usize = (0..runs).map(|_| grover_search(k, |i| i == 0, rng).queries).sum();
             total as f64 / runs as f64
         };
         let q16 = avg(16, &mut rng);

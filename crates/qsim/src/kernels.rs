@@ -377,7 +377,11 @@ pub fn phase_flip_where<F: Fn(usize) -> bool + Sync>(amps: &mut [C64], pred: F, 
 /// Fold per-[`REDUCE_CHUNK`] partial sums in chunk order. `partial`
 /// computes one chunk's sum; chunk boundaries are fixed, so the result is
 /// independent of how chunks are scheduled onto threads.
-fn chunked_sum<F: Fn(&[C64], usize) -> f64 + Sync>(amps: &[C64], threads: usize, partial: F) -> f64 {
+fn chunked_sum<F: Fn(&[C64], usize) -> f64 + Sync>(
+    amps: &[C64],
+    threads: usize,
+    partial: F,
+) -> f64 {
     let chunks: Vec<&[C64]> = amps.chunks(REDUCE_CHUNK).collect();
     let mut partials = vec![0.0f64; chunks.len()];
     let threads = threads.max(1).min(chunks.len().max(1));
@@ -754,6 +758,9 @@ mod tests {
         // fixed = {1, 3}: counter bits land at positions 0, 2, 4, ...
         let fixed = [1usize, 3];
         let got: Vec<usize> = (0..8).map(|c| expand(c, &fixed)).collect();
-        assert_eq!(got, vec![0b00000, 0b00001, 0b00100, 0b00101, 0b10000, 0b10001, 0b10100, 0b10101]);
+        assert_eq!(
+            got,
+            vec![0b00000, 0b00001, 0b00100, 0b00101, 0b10000, 0b10001, 0b10100, 0b10101]
+        );
     }
 }

@@ -8,7 +8,7 @@
 //!
 //! * [`state`] — dense statevectors, gates, measurement;
 //! * [`kernels`] — the strided, multi-threaded loops under every gate;
-//! * [`reference`] — the seed's branch-per-index scans, kept as the
+//! * [`mod@reference`] — the seed's branch-per-index scans, kept as the
 //!   differential-test oracle;
 //! * [`oracle`] — phase and XOR input oracles from classical data;
 //! * [`qft`] — the quantum Fourier transform;

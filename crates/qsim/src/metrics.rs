@@ -112,11 +112,7 @@ pub fn get(counter: Counter) -> u64 {
 /// All counters as `(name, value)` pairs, in fixed declaration order —
 /// ready to feed a `telemetry::Collector` via its `add` method.
 pub fn snapshot() -> Vec<(&'static str, u64)> {
-    NAMES
-        .iter()
-        .zip(&COUNTERS)
-        .map(|(&name, c)| (name, c.load(Ordering::Relaxed)))
-        .collect()
+    NAMES.iter().zip(&COUNTERS).map(|(&name, c)| (name, c.load(Ordering::Relaxed))).collect()
 }
 
 #[cfg(test)]

@@ -80,7 +80,12 @@ pub fn phase_distance(a: f64, b: f64) -> f64 {
 /// Median-of-repetitions boosting: repeat the estimate `reps` times and take
 /// the circular median, pushing the failure probability below `2^{−Ω(reps)}`
 /// — the `log(1/δ)` factor in Lemma 29.
-pub fn estimate_diagonal_phase_boosted<R: Rng>(phi: f64, t: usize, reps: usize, rng: &mut R) -> f64 {
+pub fn estimate_diagonal_phase_boosted<R: Rng>(
+    phi: f64,
+    t: usize,
+    reps: usize,
+    rng: &mut R,
+) -> f64 {
     assert!(reps >= 1);
     let mut estimates: Vec<f64> = (0..reps).map(|_| estimate_diagonal_phase(phi, t, rng)).collect();
     // Circular median: pick the estimate minimizing the sum of circular

@@ -82,10 +82,10 @@ pub fn sample<R: Rng>(amps: &[C64], rng: &mut R) -> usize {
 /// Hadamard on qubit `q` through the reference kernel (bench convenience).
 pub fn h(amps: &mut [C64], q: usize) {
     let s = std::f64::consts::FRAC_1_SQRT_2;
-    let m = [[C64 { re: s, im: 0.0 }, C64 { re: s, im: 0.0 }], [
-        C64 { re: s, im: 0.0 },
-        C64 { re: -s, im: 0.0 },
-    ]];
+    let m = [
+        [C64 { re: s, im: 0.0 }, C64 { re: s, im: 0.0 }],
+        [C64 { re: s, im: 0.0 }, C64 { re: -s, im: 0.0 }],
+    ];
     apply_controlled_1q(amps, &[], q, m);
 }
 

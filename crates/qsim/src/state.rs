@@ -95,11 +95,8 @@ impl State {
     /// Panics if qubit counts differ.
     pub fn fidelity(&self, other: &State) -> f64 {
         assert_eq!(self.n, other.n);
-        let ip = self
-            .amps
-            .iter()
-            .zip(&other.amps)
-            .fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b);
+        let ip =
+            self.amps.iter().zip(&other.amps).fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b);
         ip.norm_sqr()
     }
 
@@ -137,7 +134,13 @@ impl State {
         assert!(q < self.n, "target out of range");
         assert!(ctrl_mask >> self.n == 0, "control out of range");
         assert!(ctrl_mask & (1 << q) == 0, "target cannot be its own control");
-        kernels::apply_controlled_1q(&mut self.amps, ctrl_mask, q, m, kernels::auto_threads(self.n));
+        kernels::apply_controlled_1q(
+            &mut self.amps,
+            ctrl_mask,
+            q,
+            m,
+            kernels::auto_threads(self.n),
+        );
     }
 
     /// Apply a fused run of diagonal gates in one amplitude sweep (see
@@ -228,12 +231,7 @@ impl State {
 
     /// Total probability of the basis states selected by `pred`.
     pub fn probability_where<F: Fn(usize) -> bool>(&self, pred: F) -> f64 {
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| pred(*i))
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(i, _)| pred(*i)).map(|(_, a)| a.norm_sqr()).sum()
     }
 
     /// Build a reusable measurement sampler: the cumulative-probability

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Bonus: congestion trace of the BFS-tree phase on this topology.
     println!("\nBFS-tree construction congestion profile:");
-    let (_run, trace) = net.run_traced(BfsTreeProtocol::instances(n, 0))?;
+    let trace = net.exec(BfsTreeProtocol::instances(n, 0)).traced().run()?.trace;
     print!("{}", trace.render(28));
     if let Some((round, peak)) = trace.peak_round() {
         println!("peak: round {round} with {} bits in flight", peak.bits);

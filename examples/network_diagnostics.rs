@@ -15,9 +15,7 @@ use congest::generators::{cycle_with_body, grid};
 use congest::runtime::Network;
 use congest::telemetry::Collector;
 use congest::tree_comm::{BroadcastRegisterProtocol, Register, Schedule};
-use dqc_core::eccentricity::{
-    quantum_average_eccentricity, quantum_diameter, quantum_radius,
-};
+use dqc_core::eccentricity::{quantum_average_eccentricity, quantum_diameter, quantum_radius};
 use dqc_core::girth::{classical_girth, quantum_girth};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,14 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== ring backbone with subnets (n = {}) ==", g.n());
     let q = quantum_girth(&net, 0.5, 2)?;
     let c = classical_girth(&net, 2)?;
-    println!(
-        "girth quantum (Cor. 26)    : {:?}   [{} rounds]",
-        q.girth, q.rounds
-    );
-    println!(
-        "girth classical baseline   : {:?}   [{} rounds]",
-        c.girth, c.rounds
-    );
+    println!("girth quantum (Cor. 26)    : {:?}   [{} rounds]", q.girth, q.rounds);
+    println!("girth classical baseline   : {:?}   [{} rounds]", c.girth, c.rounds);
     println!(
         "classical lower bound for girth is Ω(√n) ≈ {:.0} rounds [FHW12]",
         dqc_core::girth::classical_lower_bound(g.n())
@@ -83,21 +75,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     col.enter("diagnostics");
     col.enter("bfs-tree");
-    net.run_telemetry(Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), retry), &mut col)?;
+    net.exec(Reliable::wrap_all(BfsTreeProtocol::instances(g.n(), 0), retry))
+        .telemetry(&mut col)
+        .run()?;
     col.exit();
     col.enter("config-broadcast");
-    net.run_telemetry(
-        Reliable::wrap_all(
-            BroadcastRegisterProtocol::instances(
-                &views,
-                Register::from_value(48, 0x0BAD_CAFE_F00D),
-                6,
-                Schedule::Pipelined,
-            ),
-            retry,
+    net.exec(Reliable::wrap_all(
+        BroadcastRegisterProtocol::instances(
+            &views,
+            Register::from_value(48, 0x0BAD_CAFE_F00D),
+            6,
+            Schedule::Pipelined,
         ),
-        &mut col,
-    )?;
+        retry,
+    ))
+    .telemetry(&mut col)
+    .run()?;
     col.exit();
     col.exit();
 

@@ -91,8 +91,8 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
-        let batch = (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
-            as usize;
+        let batch =
+            (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
         self.sample_ns.clear();
         for _ in 0..self.samples {
             let t = Instant::now();
@@ -124,7 +124,8 @@ fn summarize(id: &str, sample_ns: &[f64]) -> Record {
     } else {
         (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
     };
-    let mean = if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+    let mean =
+        if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
     Record { id: id.to_string(), median_ns: median, mean_ns: mean, samples: sorted.len() }
 }
 
@@ -175,9 +176,7 @@ fn report(record: &Record) {
                 record.mean_ns,
                 record.samples
             );
-            if let Ok(mut f) =
-                std::fs::OpenOptions::new().create(true).append(true).open(&path)
-            {
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
                 let _ = f.write_all(line.as_bytes());
             }
         }
